@@ -1,0 +1,202 @@
+"""Figure 2 — throughput and latency of the broadcast primitives.
+
+The paper's figure reports, for message sizes 10 B … 10 KB and 2/4
+destinations:
+
+* throughput (bytes/second) of **asynchronous CBCAST**, rising with
+  message size toward ~100 KB/s and kinking between 1 KB and 10 KB where
+  inter-site messages fragment into 4 KB packets;
+* latency of CBCAST / ABCAST / GBCAST when one reply is needed and comes
+  from a local process: CBCAST cheapest, ABCAST adds the two-phase
+  priority round trips, GBCAST the flush;
+* CPU utilization: 96–98 % on a site streaming asynchronous multicasts,
+  30–35 % when running a protocol that waits on remote sites (ABCAST),
+  remote sites ≤ 20 %.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ALL, IsisCluster
+from repro.core.engine import ABCAST, CBCAST
+from repro.core.groups import GBCAST
+
+from harness import ECHO_ENTRY, SINK_ENTRY, deploy_group, print_table, run_one
+
+SIZES = [10, 100, 1000, 10000]
+
+
+def _deploy(n_dests: int, seed: int):
+    """Sender at site 0; group members on `n_dests` sites including 0."""
+    system = IsisCluster(n_sites=max(4, n_dests), seed=seed)
+    members = deploy_group(system, list(range(n_dests)), name="fig2")
+    return system, members
+
+
+# ---------------------------------------------------------------------------
+# Throughput: asynchronous CBCAST streams
+# ---------------------------------------------------------------------------
+def throughput_workload():
+    rows = []
+    metrics = {}
+    for n_dests in (2, 4):
+        for size in SIZES:
+            system, members = _deploy(n_dests, seed=200 + size % 97)
+            sender = members[0]
+            payload = bytes(size)
+            sent = {"n": 0}
+
+            def stream(sender=sender, payload=payload, sent=sent):
+                gid = yield sender.isis.pg_lookup("fig2")
+                while True:
+                    yield sender.isis.cbcast(gid, SINK_ENTRY, payload=payload)
+                    sent["n"] += 1
+
+            # Several streaming tasks keep the send path saturated, as a
+            # busy ISIS client would.
+            for i in range(4):
+                sender.process.spawn(stream(), f"stream{i}")
+            start = system.now
+            meter = system.site(0).cpu.meter()
+            system.run_for(30.0)
+            elapsed = system.now - start
+            tput = sent["n"] * size / elapsed
+            util = meter.utilization()
+            rows.append((n_dests, size, sent["n"], f"{tput:,.0f}",
+                         f"{util:.0%}"))
+            metrics[f"tput:{n_dests}d:{size}B"] = round(tput)
+            metrics[f"util:async:{n_dests}d:{size}B"] = round(util, 3)
+    print_table(
+        "Figure 2a — async CBCAST throughput (paper: rises to ~100 KB/s, "
+        "knee past 4 KB fragmentation; sender CPU 96-98%)",
+        ["dests", "msg bytes", "msgs/30s", "bytes/s", "sender CPU"],
+        rows,
+    )
+    return metrics
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_async_cbcast_throughput(benchmark):
+    metrics = run_one(benchmark, throughput_workload)
+    # Shape checks: throughput grows with message size for both fan-outs,
+    # and 2 destinations beat 4 (paper's two curves).
+    for n in (2, 4):
+        series = [metrics[f"tput:{n}d:{s}B"] for s in SIZES]
+        assert series == sorted(series), f"throughput not monotone: {series}"
+    assert metrics["tput:2d:10000B"] > metrics["tput:4d:10000B"]
+    # The paper's async sender runs its CPU nearly flat out.
+    assert metrics["util:async:2d:10000B"] > 0.85
+
+
+# ---------------------------------------------------------------------------
+# Latency: one reply, from a local process
+# ---------------------------------------------------------------------------
+def latency_workload():
+    rows = []
+    metrics = {}
+    kinds = [("cbcast", CBCAST), ("abcast", ABCAST), ("gbcast", GBCAST)]
+    for n_dests in (2, 4):
+        for size in SIZES:
+            lat = {}
+            for label, kind in kinds:
+                system, members = _deploy(n_dests, seed=300 + size % 89)
+                sender = members[0]  # a local member replies (rank 0 local)
+                payload = bytes(size)
+                samples = []
+
+                def measure(sender=sender, payload=payload, kind=kind,
+                            samples=samples):
+                    gid = yield sender.isis.pg_lookup("fig2")
+                    for _ in range(10):
+                        t0 = system.now
+                        yield sender.isis.bcast(
+                            gid, ECHO_ENTRY, nwant=1, kind=kind,
+                            payload=payload)
+                        samples.append(system.now - t0)
+
+                sender.process.spawn(measure(), f"lat-{label}")
+                system.run_for(300.0)
+                lat[label] = (sum(samples) / len(samples)) if samples else None
+                metrics[f"lat:{label}:{n_dests}d:{size}B"] = (
+                    round(lat[label] * 1000, 1) if samples else None)
+            rows.append((
+                n_dests, size,
+                *(f"{lat[l] * 1000:7.1f}" if lat[l] else "n/a"
+                  for l, _ in kinds),
+            ))
+    print_table(
+        "Figure 2b — latency to one (local) reply, ms "
+        "(paper: CBCAST < ABCAST < GBCAST; knee between 1 KB and 10 KB)",
+        ["dests", "msg bytes", "CBCAST ms", "ABCAST ms", "GBCAST ms"],
+        rows,
+    )
+    return metrics
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_latency_ordering(benchmark):
+    metrics = run_one(benchmark, latency_workload)
+    for n in (2, 4):
+        for size in SIZES:
+            cb = metrics[f"lat:cbcast:{n}d:{size}B"]
+            ab = metrics[f"lat:abcast:{n}d:{size}B"]
+            gb = metrics[f"lat:gbcast:{n}d:{size}B"]
+            assert cb < ab, f"CBCAST should beat ABCAST at {n}d/{size}B"
+            assert ab <= gb * 1.5, "GBCAST should not be vastly cheaper"
+    # Fragmentation knee: the 1 KB -> 10 KB step grows latency much more
+    # than the 100 B -> 1 KB step (paper: "sharp rise ... because large
+    # inter-site messages are fragmented into 4kbyte packets").
+    small_step = (metrics["lat:cbcast:2d:1000B"]
+                  - metrics["lat:cbcast:2d:100B"])
+    big_step = (metrics["lat:cbcast:2d:10000B"]
+                - metrics["lat:cbcast:2d:1000B"])
+    assert big_step > 2 * max(small_step, 0.1)
+
+
+# ---------------------------------------------------------------------------
+# CPU utilization under a waiting protocol (ABCAST)
+# ---------------------------------------------------------------------------
+def utilization_workload():
+    system, members = _deploy(2, seed=400)
+    sender = members[0]
+
+    def abcast_loop():
+        gid = yield sender.isis.pg_lookup("fig2")
+        while True:
+            yield sender.isis.abcast(gid, ECHO_ENTRY, nwant=1,
+                                     payload=bytes(1000))
+
+    sender.process.spawn(abcast_loop(), "ab-loop")
+    meter_sender = system.site(0).cpu.meter()
+    meter_remote = system.site(1).cpu.meter()
+    meter_idle = system.site(2).cpu.meter()
+    system.run_for(30.0)
+    result = {
+        "util:abcast:sender": round(meter_sender.utilization(), 3),
+        "util:abcast:remote": round(meter_remote.utilization(), 3),
+        "util:abcast:idle_site": round(meter_idle.utilization(), 3),
+    }
+    print_table(
+        "Figure 2c — CPU utilization (paper: async 96-98%, ABCAST-style "
+        "waiting 30-35%, otherwise-idle remote sites <= 20%)",
+        ["workload", "site", "utilization"],
+        [
+            ("ABCAST w/ replies", "sender", f"{result['util:abcast:sender']:.0%}"),
+            ("ABCAST w/ replies", "remote member",
+             f"{result['util:abcast:remote']:.0%}"),
+            ("ABCAST w/ replies", "idle site",
+             f"{result['util:abcast:idle_site']:.0%}"),
+        ],
+    )
+    return result
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_utilization_waiting_protocol(benchmark):
+    metrics = run_one(benchmark, utilization_workload)
+    # A protocol that waits for remote messages leaves the sender mostly
+    # idle (paper: 30-35%) and remote sites lighter still (<= 20%).
+    assert metrics["util:abcast:sender"] < 0.60
+    assert metrics["util:abcast:remote"] <= metrics["util:abcast:sender"]
+    assert metrics["util:abcast:idle_site"] < 0.20

@@ -1,0 +1,194 @@
+"""Table I — multicast overhead for selected tools.
+
+For each toolkit routine the paper lists the number of (logical)
+multicasts required.  This benchmark invokes each routine once on a
+3-site deployment, counts the multicasts actually issued (trace counters
+``mcast.*`` and ``flush.runs`` — a flush is the GBCAST of a membership
+change), and prints the paper-vs-measured table.
+
+Deviations are listed explicitly in the 'note' column; the shape to
+check is that asynchronous paths cost 1 multicast, reads by the manager
+cost none, and membership operations cost one GBCAST.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ALL, IsisCluster
+from repro.core.engine import ABCAST, CBCAST
+from repro.tools import ConfigTool, ReplicatedData, SemaphoreClient, SemaphoreManager
+
+from harness import ECHO_ENTRY, SINK_ENTRY, deploy_group, print_table, run_one
+
+MCAST_KEYS = ("mcast.cbcast", "mcast.abcast", "mcast.gbcast", "mcast.reply")
+
+
+def _mcast_delta(trace, before, include_flushes=True):
+    delta = trace.delta(before, prefix="mcast.")
+    delta.pop("mcast.null_reply", None)  # control traffic, not multicasts
+    total = sum(delta.values())
+    if include_flushes:
+        flush = trace.delta(before, prefix="flush.")
+        total += flush.get("flush.runs", 0)
+    return total
+
+
+def _snapshot(system):
+    return dict(system.sim.trace.counters)
+
+
+def table1_workload():
+    rows = []
+    system = IsisCluster(n_sites=3, seed=101)
+    members = deploy_group(system, [0, 1], name="t1")
+    isis0 = members[0].isis
+    config = ConfigTool(members[0].isis, None)  # re-pointed below
+    gid_box = {}
+
+    def get_gid():
+        gid_box["gid"] = yield isis0.pg_lookup("t1")
+
+    members[0].process.spawn(get_gid(), "gid")
+    system.run_for(3.0)
+    gid = gid_box["gid"]
+    config.gid = gid
+    repl = ReplicatedData(members[0].isis, gid, name="t1kv")
+    repl_b = ReplicatedData(members[1].isis, gid, name="t1kv")
+    sems = [SemaphoreManager(m.isis, gid) for m in members]
+    client_proc, client_isis = system.spawn(2, "client")
+    sem_client = SemaphoreClient(client_isis, gid)
+
+    def audit(row_name, paper, gen_fn, note="", include_flushes=True):
+        before = _snapshot(system)
+        done = {}
+
+        def run():
+            yield from gen_fn()
+            done["ok"] = True
+
+        client_proc.spawn(run(), row_name) if gen_fn.__name__.startswith(
+            "client_") else members[0].process.spawn(run(), row_name)
+        system.run_for(40.0)
+        measured = _mcast_delta(system.sim.trace, before, include_flushes)
+        rows.append((row_name, paper, measured, note if done else "DID NOT FINISH"))
+
+    # --- group RPC -----------------------------------------------------
+    def client_bcast():
+        replies = yield client_isis.cbcast(gid, ECHO_ENTRY, nwant=ALL,
+                                           payload=b"x")
+        assert replies
+
+    audit("bcast + collect replies", "see Fig 2",
+          client_bcast, "1 CBCAST + member replies")
+
+    def member_reply_pair():
+        replies = yield isis0.cbcast(gid, ECHO_ENTRY, nwant=1, payload=b"x")
+        assert replies
+
+    audit("reply(msg)", "1 async CBCAST", member_reply_pair,
+          "counted within the RPC above")
+
+    # --- process groups ---------------------------------------------------
+    def create_group():
+        yield isis0.pg_create("t1-extra")
+
+    audit("pg_create", "1 local RPC", create_group, "0 multicasts")
+
+    def lookup():
+        yield isis0.pg_lookup("t1")
+
+    audit("pg_lookup", "1 local RPC (+1 CBCAST,1 reply)", lookup,
+          "local replica hit")
+
+    join_box = {}
+
+    def client_join():
+        view = yield client_isis.pg_join(gid)
+        join_box["view"] = view
+
+    audit("pg_join (join-and-xfer)", "1 GBCAST (+TCP if large)",
+          client_join, "1 flush = the GBCAST")
+
+    def client_leave():
+        yield client_isis.pg_leave(gid)
+
+    audit("pg_leave", "1 GBCAST", client_leave, "1 flush")
+
+    def monitor():
+        yield isis0.pg_monitor(gid, lambda v: None)
+
+    audit("pg_monitor", "1 local RPC per change", monitor, "0 multicasts")
+
+    # --- replicated data ---------------------------------------------------
+    def repl_update():
+        yield repl.update("item", value=1)
+
+    audit("replicated update", "1 async CBCAST or 1 ABCAST", repl_update, "")
+
+    def repl_read_local():
+        repl.read("item")
+        yield isis0.flush()  # no-op wait, keeps this a generator
+
+    audit("read (by manager)", "no cost", repl_read_local, "local")
+
+    def client_remote_read():
+        value = yield ReplicatedData(client_isis, gid, name="t1kv") \
+            .remote_read("item")
+
+    audit("read (by other clients)", "CBCAST + 1 reply",
+          client_remote_read, "2 logical multicasts")
+
+    # --- synchronization -------------------------------------------------------
+    def client_sem_p():
+        yield sem_client.p("mutex")
+
+    audit("P (obtain mutex)", "1 ABCAST, all replies", client_sem_p,
+          "designated-responder grant")
+
+    def client_sem_v():
+        yield sem_client.v("mutex")
+
+    audit("V (release)", "1 async CBCAST", client_sem_v, "")
+
+    # --- configuration ------------------------------------------------------------
+    def conf_update():
+        yield config.update("limit", 10)
+
+    audit("conf_update", "1 GBCAST", conf_update, "")
+
+    def conf_read():
+        config.read("limit")
+        yield isis0.flush()
+
+    audit("conf_read", "no cost", conf_read, "local")
+
+    # --- pg_kill last (it destroys the group) ---------------------------------------
+    def kill_group():
+        yield isis0.pg_kill(gid)
+
+    audit("pg_kill", "1 ABCAST", kill_group,
+          "signal via ABCAST (consequent membership flushes excluded)",
+          include_flushes=False)
+
+    print_table(
+        "Table I — multicast overhead per toolkit routine",
+        ["routine", "paper", "measured", "note"],
+        rows,
+    )
+    return {
+        f"t1:{name}": measured for name, _, measured, _ in rows
+    }
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_multicast_overhead(benchmark):
+    metrics = run_one(benchmark, table1_workload)
+    # Spot-check the audit's key claims.
+    assert metrics["t1:replicated update"] == 1
+    assert metrics["t1:read (by manager)"] == 0
+    assert metrics["t1:conf_update"] == 1
+    assert metrics["t1:conf_read"] == 0
+    assert metrics["t1:pg_create"] == 0
+    assert metrics["t1:pg_leave"] == 1
+    assert metrics["t1:V (release)"] == 1

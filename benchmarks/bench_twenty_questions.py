@@ -1,0 +1,130 @@
+"""§5 summary numbers — twenty questions throughput.
+
+*"When run on 4 SUN 3/50 workstations using a 10-Mbit ethernet and with
+members at all sites, it supports an aggregate of 30 queries or 5
+replicated updates per second."*
+
+The benchmark deploys the service with members at all 4 sites, drives it
+with one front-end per site, and measures aggregate query throughput
+(CBCAST path) and update throughput (GBCAST path).  Absolute numbers
+depend on the CPU constants; the *shape* that must hold is ~an order of
+magnitude between cheap queries and totally-ordered updates (30 : 5 in
+the paper).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import IsisCluster
+from repro.apps.twenty_questions import (
+    TwentyQuestionsClient,
+    TwentyQuestionsServer,
+)
+
+from harness import print_table, run_one
+
+NMEMBERS = 4
+MEASURE_SECONDS = 30.0
+
+
+def _deploy(seed):
+    from repro import IsisConfig
+    # Paper-faithful mode: each dynamic update is its own GBCAST (our
+    # flush otherwise batches concurrent updates, inflating throughput).
+    system = IsisCluster(n_sites=4, seed=seed,
+                         isis_config=IsisConfig(gbcast_batching=False))
+    servers = []
+    creator = TwentyQuestionsServer(
+        system.site(0).spawn_process("tq0"), nmembers=NMEMBERS)
+    servers.append(creator)
+    creator.process.spawn(creator.start(mode="create"), "start")
+    system.run_for(3.0)
+    for site in (1, 2, 3):
+        server = TwentyQuestionsServer(
+            system.site(site).spawn_process(f"tq{site}"), nmembers=NMEMBERS)
+        servers.append(server)
+        server.process.spawn(server.start(mode="join"), "join")
+        system.run_for(25.0)
+    return system, servers
+
+
+def queries_workload():
+    system, servers = _deploy(seed=600)
+    completed = {"queries": 0}
+    questions = ["color = red", "price > 9000", "size = sport",
+                 "make = Ford"]
+    for site in range(4):
+        proc = system.site(site).spawn_process(f"fe{site}")
+        client = TwentyQuestionsClient(proc, nmembers=NMEMBERS)
+
+        def loop(client=client, site=site):
+            yield from client.connect()
+            i = 0
+            while True:
+                yield from client.ask(questions[(site + i) % len(questions)])
+                completed["queries"] += 1
+                i += 1
+
+        proc.spawn(loop(), f"qloop{site}")
+    start = system.now
+    system.run_for(MEASURE_SECONDS)
+    rate = completed["queries"] / (system.now - start)
+    return {"tq:queries_per_s": round(rate, 1),
+            "tq:queries_total": completed["queries"]}
+
+
+def updates_workload():
+    system, servers = _deploy(seed=601)
+    completed = {"updates": 0}
+    for site in range(4):
+        proc = system.site(site).spawn_process(f"fe{site}")
+        client = TwentyQuestionsClient(proc, nmembers=NMEMBERS)
+
+        def loop(client=client, site=site):
+            yield from client.connect()
+            i = 0
+            while True:
+                yield from client.add_row(
+                    object=f"gadget{site}-{i}", color="grey", size="s",
+                    price=i, make="acme", model="m1")
+                completed["updates"] += 1
+                i += 1
+
+        proc.spawn(loop(), f"uloop{site}")
+    start = system.now
+    system.run_for(MEASURE_SECONDS)
+    rate = completed["updates"] / (system.now - start)
+    return {"tq:updates_per_s": round(rate, 1),
+            "tq:updates_total": completed["updates"]}
+
+
+@pytest.mark.benchmark(group="twenty-questions")
+def test_s5_aggregate_query_and_update_rates(benchmark):
+    def workload():
+        q = queries_workload()
+        u = updates_workload()
+        metrics = {**q, **u}
+        metrics["tq:query_update_ratio"] = round(
+            metrics["tq:queries_per_s"] / max(metrics["tq:updates_per_s"],
+                                              0.01), 1)
+        print_table(
+            "§5 summary — twenty questions on 4 sites, members at all sites",
+            ["metric", "paper", "measured"],
+            [
+                ("aggregate queries/s", "30",
+                 metrics["tq:queries_per_s"]),
+                ("aggregate replicated updates/s", "5",
+                 metrics["tq:updates_per_s"]),
+                ("query : update ratio", "6.0",
+                 metrics["tq:query_update_ratio"]),
+            ],
+        )
+        return metrics
+
+    metrics = run_one(benchmark, workload)
+    # Shape: queries are much cheaper than GBCAST-ordered updates, and
+    # both land within a small factor of the paper's absolute numbers.
+    assert metrics["tq:queries_per_s"] > metrics["tq:updates_per_s"] * 2
+    assert 10 <= metrics["tq:queries_per_s"] <= 120
+    assert 1 <= metrics["tq:updates_per_s"] <= 30

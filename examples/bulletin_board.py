@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The §3.11 bulletin-board tool: a shared blackboard for AI-style apps.
+
+Three "expert" processes cooperate on a diagnosis blackboard: each posts
+hypotheses (causally ordered, cheap) and verdicts (ABCAST, one agreed
+order), while reads are purely local.  A late-joining expert receives the
+whole board history through state transfer.
+
+Run:  python examples/bulletin_board.py
+"""
+
+from repro import IsisCluster
+from repro.tools import BulletinBoard
+
+
+def main() -> None:
+    system = IsisCluster(n_sites=4, seed=55)
+
+    # --- three experts share a board group --------------------------------
+    experts = []
+    gid_box = {}
+    first_proc, first_isis = system.spawn(0, "expert0")
+
+    def create():
+        gid_box["gid"] = yield first_isis.pg_create("blackboard")
+
+    first_proc.spawn(create(), "create")
+    system.run_for(3.0)
+    gid = gid_box["gid"]
+    experts.append((first_proc, BulletinBoard(first_isis, gid)))
+    for site in (1, 2):
+        proc, isis = system.spawn(site, f"expert{site}")
+        board = BulletinBoard(isis, gid)
+
+        def join(isis=isis):
+            yield isis.pg_join(gid)
+
+        proc.spawn(join(), "join")
+        system.run_for(25.0)
+        experts.append((proc, board))
+    print(f"[t={system.now:6.1f}s] three experts share the blackboard")
+
+    # --- hypotheses flow in; watchers react immediately -----------------------
+    experts[2][1].watch(
+        "hypotheses",
+        lambda p: print(f"[t={system.now:6.1f}s]   expert2 sees: "
+                        f"{p.subject} = {p.body!r}"))
+
+    def investigate(idx):
+        proc, board = experts[idx]
+        yield board.post("hypotheses", f"h{idx}",
+                         f"component {idx} is overheating")
+        yield board.post_ordered("verdicts", "vote", f"expert{idx}: replace")
+
+    for idx in range(3):
+        experts[idx][0].spawn(investigate(idx), f"inv{idx}")
+    system.run_for(30.0)
+
+    # --- reads are local and consistent ------------------------------------------
+    for idx, (proc, board) in enumerate(experts):
+        verdicts = [p.body for p in board.read("verdicts")]
+        print(f"[t={system.now:6.1f}s] expert{idx} verdict order: {verdicts}")
+
+    # --- a late expert inherits the whole board -------------------------------------
+    late_proc, late_isis = system.spawn(3, "expert3")
+    late_board = BulletinBoard(late_isis, gid)
+
+    def late_join():
+        yield late_isis.pg_join(gid)
+
+    late_proc.spawn(late_join(), "late-join")
+    system.run_for(30.0)
+    print(f"[t={system.now:6.1f}s] late expert3 sees "
+          f"{len(late_board.read('hypotheses'))} hypotheses and "
+          f"{len(late_board.read('verdicts'))} verdicts (via state transfer)")
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

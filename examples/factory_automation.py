@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The §1 factory-automation scenario.
+
+Two toolkit-built services cooperate: the emulsion service executes batch
+jobs coordinator-cohort style (surviving a member crash mid-batch), and
+the transport service tracks wafer locations in replicated data with
+asynchronous updates.
+
+Run:  python examples/factory_automation.py
+"""
+
+from repro import IsisCluster
+from repro.apps.factory import (
+    EmulsionClient,
+    EmulsionService,
+    TransportService,
+)
+
+
+def main() -> None:
+    system = IsisCluster(n_sites=4, seed=33)
+
+    # --- emulsion service: two replicas ------------------------------------
+    emulsion = []
+    first = EmulsionService(system.site(0).spawn_process("em0"))
+    emulsion.append(first)
+    first.process.spawn(first.start(mode="create"), "start")
+    system.run_for(3.0)
+    second = EmulsionService(system.site(1).spawn_process("em1"))
+    emulsion.append(second)
+    second.process.spawn(second.start(mode="join"), "join")
+    system.run_for(25.0)
+
+    # --- transport service: two replicas --------------------------------------
+    transport0 = TransportService(system.site(2).spawn_process("tr0"))
+    transport0.process.spawn(transport0.start(mode="create"), "start")
+    system.run_for(3.0)
+    transport1 = TransportService(system.site(3).spawn_process("tr1"))
+    transport1.process.spawn(transport1.start(mode="join"), "join")
+    system.run_for(25.0)
+    print(f"[t={system.now:6.1f}s] services deployed")
+
+    # --- a fabrication run -------------------------------------------------------
+    control = system.site(2).spawn_process("control")
+    client = EmulsionClient(control)
+
+    def fabricate():
+        yield from transport0.assign_station("coater-1", 0)
+        yield from transport0.move("lot-7", "coater-1")
+        print(f"[t={system.now:6.1f}s] lot-7 moved to "
+              f"{transport0.where('lot-7')}")
+        reply = yield from client.submit("lot-7-coat", wafers=24)
+        print(f"[t={system.now:6.1f}s] batch {reply['batch']} coated "
+              f"{reply['coated']} wafers")
+        yield from transport0.move("lot-7", "stepper-2")
+        print(f"[t={system.now:6.1f}s] lot-7 moved to "
+              f"{transport0.where('lot-7')}")
+
+    control.spawn(fabricate(), "fab")
+    system.run_for(120.0)
+
+    # Replicas agree on completed work and wafer locations.
+    print(f"           emulsion replicas completed: "
+          f"{[svc.completed for svc in emulsion]}")
+    print(f"           transport replicas see lot-7 at: "
+          f"{transport0.where('lot-7')!r} / {transport1.where('lot-7')!r}")
+
+    # --- crash a member mid-batch: the cohort takes over -------------------------
+    def fabricate_through_failure():
+        reply = yield from client.submit("lot-8-coat", wafers=12)
+        print(f"[t={system.now:6.1f}s] batch {reply['batch']} done despite "
+              f"the crash")
+
+    control.spawn(fabricate_through_failure(), "fab2")
+    system.run_for(0.1)
+    print(f"[t={system.now:6.1f}s] crashing emulsion member em0 mid-batch ...")
+    system.crash_site(0)
+    system.run_for(180.0)
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""The §5 twenty-questions application, end to end.
+
+Replays the paper's demo: a replicated database partitioned among
+NMEMBERS servers, vertical and horizontal queries, a hot standby taking
+over after a failure, and a dynamic update ordered against queries.
+
+Run:  python examples/twenty_questions.py
+"""
+
+from repro import IsisCluster
+from repro.apps.twenty_questions import (
+    TwentyQuestionsClient,
+    TwentyQuestionsServer,
+)
+
+NMEMBERS = 3
+
+
+def main() -> None:
+    system = IsisCluster(n_sites=4, seed=20)
+
+    # --- deploy: three members + one hot standby -------------------------
+    servers = []
+    creator = TwentyQuestionsServer(
+        system.site(0).spawn_process("tq0"), nmembers=NMEMBERS)
+    servers.append(creator)
+    creator.process.spawn(creator.start(mode="create"), "start")
+    system.run_for(3.0)
+    for site in (1, 2):
+        server = TwentyQuestionsServer(
+            system.site(site).spawn_process(f"tq{site}"), nmembers=NMEMBERS)
+        servers.append(server)
+        server.process.spawn(server.start(mode="join"), "join")
+        system.run_for(25.0)
+    standby = TwentyQuestionsServer(
+        system.site(3).spawn_process("tq-standby"), nmembers=NMEMBERS,
+        standby=True)
+    servers.append(standby)
+    standby.process.spawn(standby.start(mode="join"), "join-sb")
+    system.run_for(25.0)
+    print(f"[t={system.now:6.1f}s] service up: {NMEMBERS} members + 1 standby")
+
+    # --- the front end plays the game --------------------------------------
+    front = system.site(3).spawn_process("front-end")
+    client = TwentyQuestionsClient(front, nmembers=NMEMBERS)
+
+    def play():
+        yield from client.pick_category("car")
+        print(f"[t={system.now:6.1f}s] secret category picked")
+        for question in ("color = red", "price > 9000", "*price > 9000",
+                         "*make = Ford"):
+            result, answers = yield from client.ask(question)
+            print(f"[t={system.now:6.1f}s]   {question!r:20} -> {result:10}"
+                  f" (answers: {dict(sorted(answers.items()))})")
+
+    front.spawn(play(), "play")
+    system.run_for(60.0)
+
+    # --- dynamic update (step 5) --------------------------------------------
+    def update():
+        size = yield from client.add_row(
+            object="car", color="red", size="sport", price=52000,
+            make="Ferrari", model="308")
+        print(f"[t={system.now:6.1f}s] added a row (db now {size} rows)")
+        result, answers = yield from client.ask("*make = Ferrari")
+        print(f"[t={system.now:6.1f}s]   '*make = Ferrari'    -> {result:10}"
+              f" (answers: {dict(sorted(answers.items()))})")
+
+    front.spawn(update(), "update")
+    system.run_for(60.0)
+
+    # --- hot standby takeover (step 4) -----------------------------------------
+    print(f"[t={system.now:6.1f}s] killing member tq1 — standby takes over")
+    servers[1].process.kill()
+    system.run_for(40.0)
+
+    def ask_again():
+        result, answers = yield from client.ask("*price > 9000")
+        print(f"[t={system.now:6.1f}s]   '*price > 9000'      -> {result:10}"
+              f" (still {len(answers)} members answering)")
+
+    front.spawn(ask_again(), "ask-again")
+    system.run_for(60.0)
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Demonstration applications built on the toolkit."""
+
+from .factory import (
+    EMULSION_GROUP,
+    TRANSPORT_GROUP,
+    EmulsionClient,
+    EmulsionService,
+    TransportService,
+)
+from .twenty_questions import (
+    COLUMNS,
+    DEFAULT_DATABASE,
+    GROUP_NAME,
+    NO,
+    SOMETIMES,
+    YES,
+    TwentyQuestionsClient,
+    TwentyQuestionsServer,
+    parse_query,
+    register_program,
+    row_matches,
+    verdict,
+)
+
+__all__ = [
+    "TwentyQuestionsServer",
+    "TwentyQuestionsClient",
+    "register_program",
+    "parse_query",
+    "row_matches",
+    "verdict",
+    "DEFAULT_DATABASE",
+    "COLUMNS",
+    "GROUP_NAME",
+    "YES",
+    "NO",
+    "SOMETIMES",
+    "EmulsionService",
+    "EmulsionClient",
+    "TransportService",
+    "EMULSION_GROUP",
+    "TRANSPORT_GROUP",
+]

@@ -1,0 +1,162 @@
+"""Factory-automation services (§1's motivating example).
+
+*"Consider the design of a distributed system for factory automation, say
+for VLSI chip fabrication.  Such a system would need to group control
+processes into services responsible for different aspects of the
+fabrication procedure.  One service might accept batches of chips needing
+photographic emulsions, another oversee transport of chips from station
+to station."*
+
+Two cooperating services built from the toolkit:
+
+* :class:`EmulsionService` — a replicated job queue.  Batch submissions
+  are ABCAST so every replica's FIFO queue is identical (the §2.4
+  shared-queue argument); work is executed coordinator-cohort style, so
+  a crashed member's batch is re-run by a cohort.
+* :class:`TransportService` — tracks wafer locations with the replicated
+  data tool (asynchronous CBCAST updates; §3.4 concurrency) and uses the
+  configuration tool to assign stations to members.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.groups import Isis
+from ..core.view import View
+from ..msg.message import Message
+from ..runtime.process import IsisProcess
+from ..tools.config import ConfigTool
+from ..tools.coordinator import CoordCohortTool
+from ..tools.replication import ReplicatedData
+from ..tools.transfer import register_state
+
+SUBMIT_ENTRY = 16
+MOVE_ENTRY = 17
+
+EMULSION_GROUP = "factory.emulsion"
+TRANSPORT_GROUP = "factory.transport"
+
+
+class EmulsionService:
+    """Replicated batch queue with coordinator-cohort execution."""
+
+    def __init__(self, process: IsisProcess,
+                 worker: Optional[Callable[[Dict], Dict]] = None):
+        self.process = process
+        self.isis = Isis(process)
+        self.gid = None
+        self.view: Optional[View] = None
+        self.queue: List[Dict] = []
+        self.completed: List[str] = []
+        self._cc = CoordCohortTool(self.isis)
+        self._worker = worker or (lambda batch: {"coated": batch["wafers"]})
+        process.bind(SUBMIT_ENTRY, self._on_submit)
+        register_state(self.isis, "emulsion:q",
+                       lambda: {"queue": self.queue,
+                                "completed": self.completed},
+                       self._restore)
+
+    def _restore(self, state: Dict) -> None:
+        self.queue = list(state["queue"])
+        self.completed = list(state["completed"])
+
+    def start(self, mode: str = "create"):
+        if mode == "create":
+            self.gid = yield self.isis.pg_create(EMULSION_GROUP)
+        else:
+            self.gid = yield self.isis.pg_lookup(EMULSION_GROUP)
+            yield self.isis.pg_join(self.gid)
+        yield self.isis.pg_monitor(self.gid, self._on_view)
+        self.view = yield self.isis.pg_view(self.gid)
+        return self.gid
+
+    def _on_view(self, view: View) -> None:
+        self.view = view
+
+    def _on_submit(self, msg: Message):
+        """ABCAST delivery: every replica queues batches identically."""
+        batch = dict(msg["batch"])
+        self.queue.append(batch)
+        if self.view is None:
+            return
+
+        def action(request: Message) -> Dict:
+            done = self._worker(batch)
+            self.completed.append(batch["id"])
+            if batch in self.queue:
+                self.queue.remove(batch)
+            return {"batch": batch["id"], **done}
+
+        yield from self._cc.run(
+            msg, self.gid, list(self.view.members), action,
+            got_reply=lambda reply: self._on_peer_done(batch))
+
+    def _on_peer_done(self, batch: Dict) -> None:
+        """A cohort learns the coordinator finished this batch."""
+        self.completed.append(batch["id"])
+        if batch in self.queue:
+            self.queue.remove(batch)
+
+
+class EmulsionClient:
+    """Submits batches to the emulsion service."""
+
+    def __init__(self, process: IsisProcess):
+        self.isis = Isis(process)
+        self.gid = None
+
+    def submit(self, batch_id: str, wafers: int, retries: int = 3):
+        """Submit and wait for completion (one reply: the coordinator's).
+
+        Failures of the whole respondent set surface as BroadcastFailed;
+        the client reissues (§5's error-code-and-retry pattern).  The
+        batch id makes reissues idempotent at the replicas.
+        """
+        if self.gid is None:
+            self.gid = yield self.isis.pg_lookup(EMULSION_GROUP)
+        from ..errors import BroadcastFailed
+        from ..sim.tasks import sleep
+        for attempt in range(retries + 1):
+            try:
+                replies = yield self.isis.abcast(
+                    self.gid, SUBMIT_ENTRY, nwant=1,
+                    batch={"id": batch_id, "wafers": wafers})
+                return replies[0]
+            except BroadcastFailed:
+                if attempt == retries:
+                    raise
+                yield sleep(self.isis.sim, 2.0)
+
+
+class TransportService:
+    """Wafer-location tracking with replicated data + configuration."""
+
+    def __init__(self, process: IsisProcess):
+        self.process = process
+        self.isis = Isis(process)
+        self.gid = None
+        self.locations: Optional[ReplicatedData] = None
+        self.config: Optional[ConfigTool] = None
+
+    def start(self, mode: str = "create"):
+        if mode == "create":
+            self.gid = yield self.isis.pg_create(TRANSPORT_GROUP)
+        else:
+            self.gid = yield self.isis.pg_lookup(TRANSPORT_GROUP)
+        self.locations = ReplicatedData(self.isis, self.gid, name="locations")
+        self.config = ConfigTool(self.isis, self.gid)
+        if mode != "create":
+            yield self.isis.pg_join(self.gid)
+        return self.gid
+
+    def assign_station(self, station: str, member_rank: int):
+        """Record station ownership in the group configuration."""
+        yield self.config.update(f"station:{station}", member_rank)
+
+    def move(self, wafer: str, station: str):
+        """Asynchronous location update (§3.4: continue immediately)."""
+        yield self.locations.update(wafer, value=station)
+
+    def where(self, wafer: str) -> Optional[str]:
+        return self.locations.read(wafer)

@@ -1,0 +1,42 @@
+"""Virtual synchrony core: groups, views, CBCAST/ABCAST/GBCAST, flush."""
+
+from .abcast import TotalOrderReceiver, TotalOrderSender
+from .bootstrap import IsisCluster
+from .cbcast import CausalReceiver
+from .engine import ABCAST, CBCAST, GroupEngine
+from .flush import FlushCoordinator, FlushReason
+from .groups import GBCAST, Isis, toolkit
+from .kernel import CC_REPLY_ENTRY, KILL_ENTRY, IsisConfig, ProtocolsProcess
+from .namespace import Namespace
+from .rpc import ALL, Session, SessionTable
+from .store import MessageStore
+from .vectorclock import VectorClock, decode_context, encode_context
+from .view import View
+
+__all__ = [
+    "IsisCluster",
+    "Isis",
+    "toolkit",
+    "IsisConfig",
+    "ProtocolsProcess",
+    "GroupEngine",
+    "View",
+    "VectorClock",
+    "encode_context",
+    "decode_context",
+    "MessageStore",
+    "CausalReceiver",
+    "TotalOrderReceiver",
+    "TotalOrderSender",
+    "FlushCoordinator",
+    "FlushReason",
+    "Namespace",
+    "SessionTable",
+    "Session",
+    "ALL",
+    "CBCAST",
+    "ABCAST",
+    "GBCAST",
+    "KILL_ENTRY",
+    "CC_REPLY_ENTRY",
+]

@@ -1,0 +1,181 @@
+"""ABCAST: totally ordered multicast via two-phase priorities.
+
+The protocol of [Birman-a], as sketched in §3.1 and costed in Figure 3
+(3 inter-site messages on the critical path):
+
+1. The sender's kernel disseminates the message to every member site;
+   each site assigns it a *proposed priority* — one more than the highest
+   priority it has seen, tie-broken by site id — and buffers the message
+   as undeliverable.
+2. The sites send their proposals back to the sender's kernel, which
+   picks the **maximum** as the final priority.
+3. The sender's kernel disseminates the final priority; each site tags
+   the message deliverable, reorders its queue by priority, and delivers
+   a message once no undeliverable message could precede it.
+
+A message with final priority ``f`` may be delivered when every other
+queued message has (proposed or final) priority greater than ``f`` —
+a proposal can only grow into a larger final value, never shrink.
+
+Priorities are ``(counter, site_id)`` pairs, globally unique because each
+site's counter advances on every proposal it makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..msg.message import Message
+
+Priority = Tuple[int, int]       # (counter, proposer site id)
+MsgRef = Tuple[int, int]         # (origin_site, gseq) within the view
+
+
+@dataclass
+class _QueueEntry:
+    ref: MsgRef
+    msg: Message
+    priority: Priority
+    final: bool = False
+
+
+class TotalOrderReceiver:
+    """Receiver-side ABCAST state for one group at one kernel."""
+
+    def __init__(self, site_id: int):
+        self.site_id = site_id
+        self._counter = 0
+        self._queue: Dict[MsgRef, _QueueEntry] = {}
+        self._delivered_refs: set[MsgRef] = set()
+
+    # -- phase 1: propose ---------------------------------------------------
+    def propose(self, ref: MsgRef, msg: Message) -> Priority:
+        """Buffer an arriving ABCAST and return our proposed priority."""
+        existing = self._queue.get(ref)
+        if existing is not None:
+            return existing.priority
+        self._counter += 1
+        priority = (self._counter, self.site_id)
+        self._queue[ref] = _QueueEntry(ref=ref, msg=msg, priority=priority)
+        return priority
+
+    # -- phase 3: finalize ---------------------------------------------------
+    def finalize(self, ref: MsgRef, final: Priority) -> List[Message]:
+        """Record the final priority; return messages now deliverable."""
+        entry = self._queue.get(ref)
+        if entry is None:
+            # Final for a message we never saw (it was delivered at a
+            # flush cut, or this is a duplicate) — nothing to do.
+            return []
+        entry.priority = final
+        entry.final = True
+        self._counter = max(self._counter, final[0])
+        return self._drain()
+
+    def _drain(self) -> List[Message]:
+        out: List[Message] = []
+        while self._queue:
+            head = min(self._queue.values(), key=lambda e: e.priority)
+            if not head.final:
+                break
+            del self._queue[head.ref]
+            self._delivered_refs.add(head.ref)
+            out.append(head.msg)
+        return out
+
+    # -- flush support ----------------------------------------------------------
+    def pending_state(self) -> List[Dict]:
+        """Wire-encodable snapshot of undelivered ABCASTs (for FLUSH_OK)."""
+        return [
+            {
+                "ref": list(entry.ref),
+                "prio": list(entry.priority),
+                "final": entry.final,
+            }
+            for entry in self._queue.values()
+        ]
+
+    def delivered_refs(self) -> List[MsgRef]:
+        return sorted(self._delivered_refs)
+
+    def force_order(self, order: List[Tuple[MsgRef, Priority]]) -> List[Message]:
+        """Apply a flush coordinator's final cut ordering.
+
+        Every listed message we still hold becomes final with the given
+        priority; the drain then delivers them all (the flush guarantees
+        we hold every listed message by now).  Unlisted queued messages
+        cannot exist at this point — the coordinator's union covers all.
+        """
+        for ref_raw, prio_raw in order:
+            ref = (ref_raw[0], ref_raw[1])
+            entry = self._queue.get(ref)
+            if entry is not None:
+                entry.priority = (prio_raw[0], prio_raw[1])
+                entry.final = True
+        return self._drain()
+
+    def has_delivered(self, ref: MsgRef) -> bool:
+        return ref in self._delivered_refs
+
+    def on_new_view(self) -> None:
+        """Reset for a new view (old-view messages all settled by flush)."""
+        self._queue.clear()
+        self._delivered_refs.clear()
+        # The counter survives: priorities stay monotone across views,
+        # which keeps late duplicate finals harmless.
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._queue)
+
+
+class TotalOrderSender:
+    """Sender-side bookkeeping: collect proposals, pick the max."""
+
+    def __init__(self) -> None:
+        #: ref -> {site: priority}, sites we still expect proposals from.
+        self._collecting: Dict[MsgRef, Dict] = {}
+
+    def start(self, ref: MsgRef, member_sites: List[int]) -> None:
+        self._collecting[ref] = {
+            "waiting": set(member_sites),
+            "proposals": [],
+        }
+
+    def offer_proposal(self, ref: MsgRef, site: int,
+                       priority: Priority) -> Optional[Priority]:
+        """Record one proposal; returns the final priority when complete."""
+        state = self._collecting.get(ref)
+        if state is None:
+            return None
+        if site in state["waiting"]:
+            state["waiting"].discard(site)
+            state["proposals"].append(tuple(priority))
+        if state["waiting"]:
+            return None
+        del self._collecting[ref]
+        return max(state["proposals"])
+
+    def drop_site(self, site: int) -> List[Tuple[MsgRef, Priority]]:
+        """A member site died: stop waiting for it everywhere.
+
+        Returns refs whose collection *completed* because of the drop,
+        with their final priorities.
+        """
+        completed = []
+        for ref in list(self._collecting):
+            state = self._collecting[ref]
+            state["waiting"].discard(site)
+            if not state["waiting"] and state["proposals"]:
+                del self._collecting[ref]
+                completed.append((ref, max(state["proposals"])))
+        return completed
+
+    def abandon_all(self) -> None:
+        """View change: in-flight collections are settled by the flush."""
+        self._collecting.clear()
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._collecting)

@@ -1,0 +1,103 @@
+"""Cluster bootstrap: wire kernels to sites and install the genesis view.
+
+ISIS was started from a configuration file naming the participating
+sites; :class:`IsisCluster` plays that role.  It builds the simulator,
+the LAN, the sites, attaches a protocols process to every site boot, and
+installs the initial site view.  Sites that boot *later* (recoveries)
+join the running system through the site-view join protocol instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..net.bulk import BulkConfig
+from ..net.lan import LanConfig
+from ..runtime.process import IsisProcess
+from ..runtime.site import Cluster, Site
+from ..sim.core import Simulator
+from .groups import Isis
+from .kernel import IsisConfig, ProtocolsProcess
+
+
+class IsisCluster:
+    """A ready-to-use simulated ISIS deployment."""
+
+    def __init__(
+        self,
+        n_sites: int = 4,
+        seed: int = 0,
+        lan_config: Optional[LanConfig] = None,
+        bulk_config: Optional[BulkConfig] = None,
+        isis_config: Optional[IsisConfig] = None,
+        boot: bool = True,
+    ):
+        self.sim = Simulator(seed=seed)
+        self.cluster = Cluster(self.sim, n_sites=n_sites,
+                               lan_config=lan_config,
+                               bulk_config=bulk_config)
+        self.config = isis_config or IsisConfig()
+        self._genesis_done = False
+        self._all_sites = list(range(n_sites))
+        for site in self.cluster.sites.values():
+            site.on_boot(self._boot_kernel)
+        if boot:
+            self.boot()
+
+    # ------------------------------------------------------------------
+    def _boot_kernel(self, site: Site) -> None:
+        ProtocolsProcess(
+            site,
+            all_sites=self._all_sites,
+            config=self.config,
+            join_existing=self._genesis_done,
+        )
+
+    def boot(self) -> None:
+        """Boot all sites and install the genesis site view."""
+        self.cluster.boot_all()
+        members = [
+            (site.site_id, site.incarnation)
+            for site in self.cluster.sites.values() if site.up
+        ]
+        for site in self.cluster.sites.values():
+            if site.up:
+                self.kernel(site.site_id).genesis(members)
+        self._genesis_done = True
+
+    # ------------------------------------------------------------------
+    # Access helpers
+    # ------------------------------------------------------------------
+    def site(self, site_id: int) -> Site:
+        return self.cluster.site(site_id)
+
+    def kernel(self, site_id: int) -> ProtocolsProcess:
+        kernel = getattr(self.cluster.site(site_id), "kernel", None)
+        if kernel is None:
+            raise RuntimeError(f"site {site_id} has no kernel (down?)")
+        return kernel
+
+    def spawn(self, site_id: int, name: str) -> Tuple[IsisProcess, Isis]:
+        """Create an application process and its toolkit handle."""
+        process = self.cluster.site(site_id).spawn_process(name)
+        return process, Isis(process)
+
+    # ------------------------------------------------------------------
+    # Simulation control
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> int:
+        return self.sim.run(until=until, max_events=max_events)
+
+    def run_for(self, duration: float) -> int:
+        return self.sim.run(until=self.sim.now + duration)
+
+    def crash_site(self, site_id: int) -> None:
+        self.cluster.site(site_id).crash()
+
+    def restart_site(self, site_id: int) -> None:
+        self.cluster.site(site_id).boot()
+
+    @property
+    def now(self) -> float:
+        return self.sim.now

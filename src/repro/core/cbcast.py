@@ -1,0 +1,79 @@
+"""CBCAST delivery queue: causal order within and across groups.
+
+See :mod:`repro.core.vectorclock` for the delivery rule.  This module
+holds the per-group receiver state: the delivered vector and the queue of
+messages waiting for causal predecessors.  The surrounding engine feeds
+it received CBCASTs and drains whatever became deliverable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..msg.address import Address
+from ..msg.message import Message
+from .vectorclock import VectorClock, decode_context
+
+#: Decoded causal context: gid -> (view_id, delivered VectorClock).
+Context = Dict[Address, Tuple[int, VectorClock]]
+
+
+class CausalReceiver:
+    """Receiver-side causal ordering for one group at one kernel."""
+
+    def __init__(self, is_deliverable_ctx: Callable[[Context], bool]):
+        #: Delivered CBCAST count per sending member (resets per view).
+        self.delivered = VectorClock()
+        self._pending: List[Message] = []
+        #: Callback asking the kernel whether a cross-group causal context
+        #: is satisfied (the kernel checks the *other* groups we belong to).
+        self._is_deliverable_ctx = is_deliverable_ctx
+
+    def offer(self, msg: Message) -> List[Message]:
+        """Feed one received CBCAST; return messages now deliverable, in order."""
+        self._pending.append(msg)
+        return self._drain()
+
+    def recheck(self) -> List[Message]:
+        """Re-evaluate pending messages (e.g. after another group advanced)."""
+        return self._drain()
+
+    def _drain(self) -> List[Message]:
+        out: List[Message] = []
+        progress = True
+        while progress:
+            progress = False
+            for i, msg in enumerate(self._pending):
+                if self._deliverable(msg):
+                    self._pending.pop(i)
+                    self.delivered.set(msg["cb_sender"], msg["cb_seq"])
+                    out.append(msg)
+                    progress = True
+                    break
+        return out
+
+    def _deliverable(self, msg: Message) -> bool:
+        sender: Address = msg["cb_sender"]
+        seq: int = msg["cb_seq"]
+        if seq != self.delivered.get(sender) + 1:
+            return False
+        context = decode_context(msg.get("cb_ctx", {}))
+        return self._is_deliverable_ctx(context)
+
+    # -- view transitions ----------------------------------------------------
+    def on_new_view(self) -> None:
+        """Reset for a new view.
+
+        The flush delivered every old-view message before the view was
+        installed, so both the delivered vector and the pending queue
+        restart from empty (per-view sequence numbers also restart).
+        """
+        self.delivered = VectorClock()
+        self._pending.clear()
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def pending_messages(self) -> List[Message]:
+        return list(self._pending)

@@ -1,0 +1,751 @@
+"""Per-group protocol engine at one member site's kernel.
+
+One :class:`GroupEngine` exists per (process group × member site).  It
+implements the complete life of a group at that site:
+
+* **dissemination** — CBCAST/ABCAST envelopes fan out to every member
+  site over the reliable transport; local members receive deliveries
+  through the kernel's intra-site hop;
+* **ordering** — causal (vector clocks) and total (two-phase priority)
+  delivery queues;
+* **stability** — every message is buffered until known everywhere, so a
+  flush can refill any member that missed something;
+* **the flush** — wedging, union cut, refill, agreed ABCAST order,
+  event application (view change / user GBCAST / config update);
+* **coordinator duties** — the oldest member's site batches flush
+  reasons (joins, removals, GBCASTs), runs the flush, answers join
+  requests, runs periodic stability rounds, and pushes view updates to
+  watcher sites (client kernels with sessions or monitors on the group).
+
+Wire protocol (all messages carry ``gid``):
+
+======================= ======================================================
+``g.cb`` / ``g.ab``     data envelope (view, origin, gseq, payload ``m``)
+``g.abp`` / ``g.abf``   ABCAST proposal / final priority
+``g.fl.begin``          wedge request (fid)
+``g.fl.ok``             participant report: have-vector + ABCAST state
+``g.fl.expect``         union cut a refilled site must reach
+``g.fl.pull``           coordinator→holder: forward these tags to that site
+``g.fl.data``           holder→needy: the messages themselves
+``g.fl.filled``         needy→coordinator: I hold the union now
+``g.fl.commit``         the cut order + the event (view / payload)
+``g.stab.q/a/trim``     stability round (garbage-collect buffers)
+======================= ======================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
+
+from ..errors import GroupError
+from ..msg.address import Address
+from ..msg.message import Message
+from .abcast import TotalOrderReceiver, TotalOrderSender
+from .cbcast import CausalReceiver
+from .flush import FlushCoordinator, FlushId, FlushReason
+from .store import MessageStore
+from .vectorclock import VectorClock, encode_context
+from .view import View
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import ProtocolsProcess
+
+CBCAST = "cbcast"
+ABCAST = "abcast"
+
+
+def _encode_pairs(mapping: Dict[int, int]) -> List[List[int]]:
+    return [[k, v] for k, v in sorted(mapping.items())]
+
+
+def _decode_pairs(pairs: List[List[int]]) -> Dict[int, int]:
+    return {k: v for k, v in pairs}
+
+
+class GroupEngine:
+    """All protocol state for one group at one member site."""
+
+    def __init__(self, kernel: "ProtocolsProcess", gid: Address, name: str = ""):
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.gid = gid
+        self.name = name
+        self.site_id = kernel.site_id
+        self.view: Optional[View] = None
+        self.installed = False
+        self.store = MessageStore()
+        self.causal = CausalReceiver(kernel.check_context)
+        self.total = TotalOrderReceiver(self.site_id)
+        self.tsender = TotalOrderSender()
+        self._send_seq = 0
+        self._cb_counts: Dict[Address, int] = {}
+        self.wedged = False
+        self._outbox: List[Callable[[], None]] = []
+        self._pre_view: List[Tuple[int, Message]] = []
+        #: Joiner gate: deliveries queue here until state transfer completes.
+        self.gated = False
+        self._gate_queue: List[Message] = []
+        # Flush participant state.
+        self._participant_fid: FlushId = (0, 0, 0)
+        self._expect_union: Optional[Dict[int, int]] = None
+        # Flush coordinator state.
+        self._reasons: List[FlushReason] = []
+        self._active: Optional[FlushCoordinator] = None
+        self._attempt = 0
+        #: ABCAST finals this site has delivered (ref -> prio), per view.
+        self._delivered_finals: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        #: Client kernels to push view updates to.
+        self.watcher_sites: Set[int] = set()
+        #: Local pg_monitor callbacks: callback(view).
+        self.monitors: List[Callable[[View], None]] = []
+
+    # ------------------------------------------------------------------
+    # Identity helpers
+    # ------------------------------------------------------------------
+    def acting_coordinator(self) -> Optional[Address]:
+        """The oldest member whose site is still in the site view.
+
+        Normally the view's first member; when the coordinator's site has
+        failed (but the group view has not yet been updated), the next
+        oldest member on a live site acts in its place to run the flush.
+        """
+        if not self.installed or self.view is None:
+            return None
+        alive = self.kernel.alive_sites()
+        for member in self.view.members:
+            if member.site in alive:
+                return member
+        return None
+
+    def is_coordinator_site(self) -> bool:
+        """Is this site hosting the group's acting coordinator member?"""
+        acting = self.acting_coordinator()
+        return acting is not None and acting.site == self.site_id
+
+    def local_members(self) -> List[Address]:
+        if self.view is None:
+            return []
+        return self.view.members_at(self.site_id)
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+    def create(self, creator: Address) -> View:
+        """Initialize as a brand-new single-member group."""
+        self.view = View(gid=self.gid, view_id=1, members=(creator.process(),))
+        self.installed = True
+        self.sim.trace.log("group.create", (str(self.gid), str(creator)))
+        return self.view
+
+    def install_from_welcome(self, view: View, gated: bool) -> None:
+        """Joiner side: adopt the view the coordinator committed."""
+        self.view = view
+        self.installed = True
+        self.gated = gated
+        self._reset_for_new_view()
+        self._drain_pre_view()
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def mcast(
+        self,
+        kind: str,
+        sender: Address,
+        user_msg: Message,
+        entry: int,
+        on_dispatched: Optional[Callable[[View], None]] = None,
+        audited: bool = True,
+    ) -> None:
+        """Multicast ``user_msg`` to the group (CBCAST or ABCAST).
+
+        If the group is wedged (flush in progress) the send is queued and
+        re-executed in the successor view — exactly the "messages are
+        delivered in the view in which they were sent" rule.
+
+        ``audited=False`` suppresses the logical-multicast counter: used
+        when this dissemination is part of an operation already counted
+        (e.g. the group copy of a ``reply_cc``, which Table I costs as a
+        single CBCAST with multiple destinations).
+        """
+        if not self.installed or self.wedged:
+            self._outbox.append(
+                lambda: self.mcast(kind, sender, user_msg, entry,
+                                   on_dispatched, audited))
+            return
+        assert self.view is not None
+        if audited:
+            self.sim.trace.bump(f"mcast.{kind}")
+        self._send_seq += 1
+        gseq = self._send_seq
+        env = Message(
+            _proto="g.cb" if kind == CBCAST else "g.ab",
+            gid=self.gid,
+            view=self.view.view_id,
+            origin=self.site_id,
+            gseq=gseq,
+            m=user_msg,
+            entry=entry,
+        )
+        if kind == CBCAST:
+            count = self._cb_counts.get(sender.process(), 0) + 1
+            self._cb_counts[sender.process()] = count
+            env["cb_sender"] = sender.process()
+            env["cb_seq"] = count
+            env["cb_ctx"] = encode_context(self.kernel.causal_context())
+        else:
+            env["ab_sender"] = sender.process()
+            self.tsender.start((self.site_id, gseq),
+                               list(self.view.member_sites()))
+        self.store.record(self.site_id, gseq, env)
+        sender_key = env.get("cb_sender") or env.get("ab_sender")
+        hw = self.kernel.site.cluster.lan.config.hw_multicast
+        first_remote = True
+        for site in self.view.member_sites():
+            if site != self.site_id:
+                # With a hardware-broadcast LAN ([Babaoglu]), one
+                # transmission reaches every destination: copies after
+                # the first cost only a token amount of sender CPU.
+                promise = self.kernel.send_to_site(
+                    site, env, piggyback=hw and not first_remote)
+                first_remote = False
+                if sender_key is not None:
+                    self.kernel.note_outstanding(sender_key, promise)
+        if on_dispatched is not None:
+            # Dispatch completes once the site CPU has accepted the
+            # fan-out: asynchronous callers are flow-controlled by their
+            # own protocols process, never outrunning the network path.
+            view_snapshot = self.view
+            self.kernel.site.cpu.submit(0.0, on_dispatched, view_snapshot)
+        # Local processing (our own copy) goes through the same pipeline.
+        self._process_data(env)
+
+    # ------------------------------------------------------------------
+    # Receive dispatch
+    # ------------------------------------------------------------------
+    def handle(self, src_site: int, msg: Message) -> None:
+        proto = msg["_proto"]
+        if proto in ("g.cb", "g.ab"):
+            self._on_data(msg)
+        elif proto == "g.abp":
+            self._on_proposal(src_site, msg)
+        elif proto == "g.abf":
+            self._on_final(msg)
+        elif proto == "g.fl.begin":
+            self._on_flush_begin(src_site, msg)
+        elif proto == "g.fl.ok":
+            self._on_flush_ok(src_site, msg)
+        elif proto == "g.fl.expect":
+            self._on_flush_expect(msg)
+        elif proto == "g.fl.pull":
+            self._on_flush_pull(msg)
+        elif proto == "g.fl.data":
+            self._on_flush_data(msg)
+        elif proto == "g.fl.filled":
+            self._on_flush_filled(src_site, msg)
+        elif proto == "g.fl.commit":
+            self._on_flush_commit(msg)
+        elif proto == "g.stab.q":
+            self._on_stability_query(src_site, msg)
+        elif proto == "g.stab.a":
+            self._on_stability_answer(src_site, msg)
+        elif proto == "g.stab.trim":
+            self._on_stability_trim(msg)
+        else:
+            self.sim.trace.bump("engine.unknown_proto")
+
+    # -- data path ---------------------------------------------------------
+    def _on_data(self, env: Message) -> None:
+        if not self.installed or self.view is None:
+            self._pre_view.append((env["view"], env))
+            return
+        view_id = env["view"]
+        if view_id < self.view.view_id:
+            self.sim.trace.bump("engine.stale_view_drop")
+            return
+        if view_id > self.view.view_id:
+            self._pre_view.append((view_id, env))
+            return
+        if self.store.record(env["origin"], env["gseq"], env):
+            self._process_data(env)
+
+    def _process_data(self, env: Message) -> None:
+        if env["_proto"] == "g.cb":
+            for ready in self.causal.offer(env):
+                self._deliver_env(ready)
+            self.kernel.recheck_causal(exclude=self.gid)
+        else:
+            ref = (env["origin"], env["gseq"])
+            priority = self.total.propose(ref, env)
+            if env["origin"] == self.site_id:
+                self._offer_own_proposal(ref, priority)
+            else:
+                self.kernel.send_to_site(env["origin"], Message(
+                    _proto="g.abp", gid=self.gid,
+                    ref=list(ref), prio=list(priority),
+                ))
+
+    def _on_proposal(self, src_site: int, msg: Message) -> None:
+        ref = (msg["ref"][0], msg["ref"][1])
+        final = self.tsender.offer_proposal(
+            ref, src_site, (msg["prio"][0], msg["prio"][1]))
+        if final is not None:
+            self._disseminate_final(ref, final)
+
+    def _offer_own_proposal(self, ref: Tuple[int, int],
+                            priority: Tuple[int, int]) -> None:
+        final = self.tsender.offer_proposal(ref, self.site_id, priority)
+        if final is not None:
+            self._disseminate_final(ref, final)
+
+    def _disseminate_final(self, ref: Tuple[int, int],
+                           final: Tuple[int, int]) -> None:
+        if self.view is None:
+            return
+        note = Message(_proto="g.abf", gid=self.gid,
+                       ref=list(ref), prio=list(final))
+        for site in self.view.member_sites():
+            if site != self.site_id:
+                self.kernel.send_to_site(site, note)
+        self._apply_final(ref, final)
+
+    def _on_final(self, msg: Message) -> None:
+        self._apply_final(
+            (msg["ref"][0], msg["ref"][1]),
+            (msg["prio"][0], msg["prio"][1]),
+        )
+
+    def _apply_final(self, ref: Tuple[int, int],
+                     final: Tuple[int, int]) -> None:
+        for ready in self.total.finalize(ref, final):
+            self._delivered_finals[(ready["origin"], ready["gseq"])] = final
+            self._deliver_env(ready)
+
+    # -- delivery to local members ---------------------------------------------
+    def _deliver_env(self, env: Message) -> None:
+        user = env["m"].copy()
+        if "_sender" not in user:
+            # Member sends stamp the true originator before dissemination;
+            # if absent, the disseminating member is the sender.
+            user["_sender"] = env.get("cb_sender") or env.get("ab_sender")
+        user["_group"] = self.gid
+        user["_view_id"] = env["view"]
+        user["_entry"] = env["entry"]
+        self.sim.trace.bump("deliver.group")
+        if self.gated:
+            self._gate_queue.append(user)
+            return
+        self.kernel.deliver_to_local_members(self, user)
+
+    def release_gate(self) -> None:
+        """State transfer finished: deliver everything that queued up."""
+        self.gated = False
+        queued, self._gate_queue = self._gate_queue, []
+        for user in queued:
+            self.kernel.deliver_to_local_members(self, user)
+
+    # ------------------------------------------------------------------
+    # Flush: coordinator side
+    # ------------------------------------------------------------------
+    def enqueue_reason(self, reason: FlushReason) -> None:
+        """Queue a flush cause (coordinator site only) and maybe start."""
+        if reason.kind == "join" and reason.joiner is not None:
+            if any(r.kind == "join" and r.joiner == reason.joiner
+                   for r in self._reasons):
+                return  # duplicate join request
+            if self.view is not None and self.view.contains(reason.joiner):
+                return
+        if reason.kind == "remove":
+            already = {
+                r for reason2 in self._reasons for r in reason2.removals
+            }
+            new = tuple(r for r in reason.removals if r not in already)
+            if not new:
+                return
+            reason.removals = new
+        self._reasons.append(reason)
+        self.maybe_start_flush()
+
+    def maybe_start_flush(self) -> None:
+        if (self._active is not None or not self._reasons
+                or not self.installed or self.view is None):
+            return
+        if not self.is_coordinator_site():
+            return
+        self._attempt += 1
+        flush_id: FlushId = (self.view.view_id + 1, self._attempt, self.site_id)
+        if self.kernel.config.gbcast_batching:
+            reasons, self._reasons = self._reasons, []
+        else:
+            # Paper-faithful mode: one GBCAST payload per flush.
+            # Membership reasons still batch (they are emergent events).
+            reasons, kept, took_payload = [], [], False
+            for reason in self._reasons:
+                if reason.kind in ("gbcast", "config"):
+                    if took_payload:
+                        kept.append(reason)
+                    else:
+                        took_payload = True
+                        reasons.append(reason)
+                else:
+                    reasons.append(reason)
+            self._reasons = kept
+        alive = self.kernel.alive_sites()
+        participants = {
+            s for s in self.view.member_sites() if s in alive
+        }
+        participants.add(self.site_id)
+        self._active = FlushCoordinator(flush_id, self.view, reasons,
+                                        participants=participants)
+        self.sim.trace.bump("flush.runs")
+        self.sim.trace.log("flush.begin", (str(self.gid), flush_id))
+        begin = Message(_proto="g.fl.begin", gid=self.gid, fid=list(flush_id))
+        for site in participants:
+            if site != self.site_id:
+                self.kernel.send_to_site(site, begin)
+        self._wedge(flush_id)
+        self._send_flush_ok(self.site_id, flush_id)
+
+    def restart_flush(self, extra_removals: Tuple[Address, ...]) -> None:
+        """A member died mid-flush: rerun with it removed."""
+        if self._active is None:
+            return
+        old = self._active
+        self._active = None
+        self._reasons = old.reasons + self._reasons
+        if extra_removals:
+            self._reasons.append(FlushReason(kind="remove",
+                                             removals=extra_removals))
+        self.maybe_start_flush()
+
+    def _on_flush_ok(self, src_site: int, msg: Message) -> None:
+        if self._active is None or list(self._active.flush_id) != msg["fid"]:
+            return
+        self._offer_report(
+            src_site,
+            _decode_pairs(msg["have"]),
+            msg["abp"],
+            [[(r[0][0], r[0][1]), (r[1][0], r[1][1])] for r in msg["abd"]],
+        )
+
+    def _offer_report(self, site: int, have: Dict[int, int],
+                      ab_pending: List[Dict], ab_delivered: List) -> None:
+        assert self._active is not None
+        if self._active.offer_report(site, have, ab_pending, ab_delivered):
+            self._start_fill_phase()
+
+    def _start_fill_phase(self) -> None:
+        assert self._active is not None
+        active = self._active
+        complete = active.complete_sites()
+        expect = Message(
+            _proto="g.fl.expect", gid=self.gid,
+            fid=list(active.flush_id), union=_encode_pairs(active.union),
+        )
+        for site in active.member_sites - complete:
+            if site == self.site_id:
+                self._on_flush_expect(expect)
+            else:
+                self.kernel.send_to_site(site, expect)
+        for holder, sends in active.compute_pulls().items():
+            pull = Message(
+                _proto="g.fl.pull", gid=self.gid,
+                fid=list(active.flush_id),
+                sends=[list(s) for s in sends],
+            )
+            if holder == self.site_id:
+                self._on_flush_pull(pull)
+            else:
+                self.kernel.send_to_site(holder, pull)
+        for site in complete:
+            self._note_filled(site)
+
+    def _note_filled(self, site: int) -> None:
+        if self._active is None:
+            return
+        if self._active.note_filled(site):
+            self._commit_flush()
+
+    def _on_flush_filled(self, src_site: int, msg: Message) -> None:
+        if self._active is not None and list(self._active.flush_id) == msg["fid"]:
+            self._note_filled(src_site)
+
+    def _commit_flush(self) -> None:
+        assert self._active is not None
+        active = self._active
+        new_view = active.next_view()
+        event: Dict = {"view": new_view.to_value()}
+        joiner = None
+        for reason in active.reasons:
+            if reason.kind == "join" and reason.joiner is not None:
+                joiner = reason.joiner
+                event["joiner"] = joiner
+                event["transfer"] = reason.transfer_state and bool(
+                    active.view.members)
+                source = active.view.coordinator()
+                event["source"] = source
+            elif reason.kind in ("gbcast", "config") and reason.payload is not None:
+                event.setdefault("payloads", []).append({
+                    "kind": reason.kind,
+                    "m": Message.decode(reason.payload),
+                    "entry": reason.user_entry,
+                })
+        commit = Message(
+            _proto="g.fl.commit", gid=self.gid,
+            fid=list(active.flush_id),
+            ab_order=active.abcast_cut_order(),
+            event=event,
+        )
+        self.sim.trace.log("flush.commit", (str(self.gid), active.flush_id,
+                                            new_view.view_id))
+        for site in active.member_sites:
+            if site != self.site_id:
+                self.kernel.send_to_site(site, commit)
+        self._active = None
+        self.kernel.on_flush_committed(self, active, new_view, event)
+        self._on_flush_commit(commit)
+        self.maybe_start_flush()
+
+    # ------------------------------------------------------------------
+    # Flush: participant side
+    # ------------------------------------------------------------------
+    def _wedge(self, fid: FlushId) -> None:
+        self.wedged = True
+        self._participant_fid = fid
+        self._expect_union = None
+
+    def _on_flush_begin(self, src_site: int, msg: Message) -> None:
+        fid: FlushId = (msg["fid"][0], msg["fid"][1], msg["fid"][2])
+        if fid < self._participant_fid:
+            return
+        self._wedge(fid)
+        self._send_flush_ok(src_site, fid)
+
+    def _send_flush_ok(self, to_site: int, fid: FlushId) -> None:
+        report = Message(
+            _proto="g.fl.ok", gid=self.gid, fid=list(fid),
+            have=_encode_pairs(self.store.have_vector()),
+            abp=self.total.pending_state(),
+            abd=[[list(ref), list(prio)]
+                 for ref, prio in sorted(self._delivered_finals.items())],
+        )
+        if to_site == self.site_id:
+            self._on_flush_ok(self.site_id, report)
+        else:
+            self.kernel.send_to_site(to_site, report)
+
+    def _on_flush_expect(self, msg: Message) -> None:
+        fid: FlushId = (msg["fid"][0], msg["fid"][1], msg["fid"][2])
+        if fid != self._participant_fid:
+            return
+        self._expect_union = _decode_pairs(msg["union"])
+        self._check_filled(fid)
+
+    def _on_flush_pull(self, msg: Message) -> None:
+        batches: Dict[int, List[Message]] = {}
+        for origin, gseq, needy in ((s[0], s[1], s[2]) for s in msg["sends"]):
+            held = self.store.get(origin, gseq)
+            if held is not None:
+                batches.setdefault(needy, []).append(held)
+        for needy, envs in batches.items():
+            data = Message(_proto="g.fl.data", gid=self.gid,
+                           fid=msg["fid"], msgs=envs)
+            if needy == self.site_id:
+                self._on_flush_data(data)
+            else:
+                self.kernel.send_to_site(needy, data)
+
+    def _on_flush_data(self, msg: Message) -> None:
+        for env in msg["msgs"]:
+            if self.store.record(env["origin"], env["gseq"], env):
+                self._process_data(env)
+        fid: FlushId = (msg["fid"][0], msg["fid"][1], msg["fid"][2])
+        self._check_filled(fid)
+
+    def _check_filled(self, fid: FlushId) -> None:
+        if self._expect_union is None or fid != self._participant_fid:
+            return
+        if not self.store.complete_for(self._expect_union):
+            return
+        filled = Message(_proto="g.fl.filled", gid=self.gid, fid=list(fid))
+        coordinator_site = fid[2]
+        if coordinator_site == self.site_id:
+            self._on_flush_filled(self.site_id, filled)
+        else:
+            self.kernel.send_to_site(coordinator_site, filled)
+        self._expect_union = None
+
+    def _on_flush_commit(self, msg: Message) -> None:
+        fid: FlushId = (msg["fid"][0], msg["fid"][1], msg["fid"][2])
+        if self.view is None or not self.installed:
+            return
+        event = msg["event"]
+        new_view = View.from_value(event["view"])
+        if new_view.view_id <= self.view.view_id:
+            return  # duplicate commit
+        old_view = self.view
+        # 1. Deliver the remaining causal messages of the old view.
+        for ready in self.causal.recheck():
+            self._deliver_env(ready)
+        for leftover in self.causal.pending_messages():
+            # Cross-group context gaps are overridden at the cut (see
+            # DESIGN.md): the set, not the interleaving, is what view
+            # synchrony fixes.
+            self._deliver_env(leftover)
+        # 2. Deliver the agreed ABCAST cut.
+        for ready in self.total.force_order(msg["ab_order"]):
+            self._deliver_env(ready)
+        # 3. Deliver GBCAST / configuration payloads.
+        for payload in event.get("payloads", []):
+            user = payload["m"].copy()
+            user["_group"] = self.gid
+            user["_view_id"] = new_view.view_id
+            user["_entry"] = payload["entry"]
+            user["_gb_kind"] = payload["kind"]
+            self.sim.trace.bump("deliver.gbcast")
+            if self.gated:
+                self._gate_queue.append(user)
+            else:
+                self.kernel.deliver_to_local_members(self, user)
+        # 4. Install the new view.
+        self.view = new_view
+        self._reset_for_new_view()
+        self.sim.trace.bump("group.views_installed")
+        self.sim.trace.log("group.view", (str(self.gid), new_view.view_id,
+                                          tuple(str(m) for m in new_view.members)))
+        still_member = bool(new_view.members_at(self.site_id))
+        self.kernel.on_view_installed(self, old_view, new_view, event)
+        for monitor in list(self.monitors):
+            if old_view.members != new_view.members:
+                monitor(new_view)
+        # 5. Resume.
+        self.wedged = False
+        outbox, self._outbox = self._outbox, []
+        if still_member:
+            for resend in outbox:
+                resend()
+            self._drain_pre_view()
+        else:
+            self.kernel.retire_engine(self)
+
+    def _reset_for_new_view(self) -> None:
+        self.store.reset()
+        self.causal.on_new_view()
+        self.total.on_new_view()
+        self.tsender.abandon_all()
+        self._delivered_finals.clear()
+        self._send_seq = 0
+        self._cb_counts.clear()
+
+    def _drain_pre_view(self) -> None:
+        if self.view is None:
+            return
+        ready = [(v, env) for v, env in self._pre_view if v <= self.view.view_id]
+        self._pre_view = [(v, env) for v, env in self._pre_view
+                          if v > self.view.view_id]
+        for _, env in ready:
+            self._on_data(env)
+
+    # ------------------------------------------------------------------
+    # Failure events
+    # ------------------------------------------------------------------
+    def on_sites_died(self, dead_sites: Set[int]) -> None:
+        """Site view removed sites: drop their members, maybe coordinate."""
+        if self.view is None or not self.installed:
+            return
+        dead_members = tuple(
+            m for m in self.view.members if m.site in dead_sites
+        )
+        if not dead_members:
+            return
+        # Complete ABCAST collections that were waiting on dead sites.
+        for site in dead_sites:
+            for ref, final in self.tsender.drop_site(site):
+                self._disseminate_final(ref, final)
+        if self.is_coordinator_site():
+            if self._active is not None:
+                self.restart_flush(extra_removals=dead_members)
+            else:
+                self.enqueue_reason(FlushReason(kind="remove",
+                                                removals=dead_members))
+
+    def on_local_member_died(self, member: Address) -> None:
+        """A member process at this site died (local detection)."""
+        if self.view is None or not self.view.contains(member):
+            return
+        if self.is_coordinator_site():
+            self.enqueue_reason(FlushReason(kind="remove",
+                                            removals=(member,)))
+            return
+        acting = self.acting_coordinator()
+        if acting is None:
+            return
+        if acting.process() == member.process() and len(self.view.members) > 1:
+            # The dying process IS the coordinator; route to the next
+            # oldest live member's site instead.
+            survivors = self.view.without([member])
+            if survivors.members:
+                self.kernel.send_to_site(
+                    survivors.members[0].site,
+                    Message(_proto="g.dead", gid=self.gid, member=member))
+            return
+        self.kernel.send_to_site(
+            acting.site,
+            Message(_proto="g.dead", gid=self.gid, member=member),
+        )
+
+    # ------------------------------------------------------------------
+    # Stability rounds (buffer garbage collection)
+    # ------------------------------------------------------------------
+    def start_stability_round(self) -> None:
+        if (not self.is_coordinator_site() or self.wedged
+                or self.view is None or self.store.buffered_count == 0):
+            return
+        self._stab_answers: Dict[int, Dict[int, int]] = {
+            self.site_id: self.store.have_vector()
+        }
+        query = Message(_proto="g.stab.q", gid=self.gid)
+        for site in self.view.member_sites():
+            if site != self.site_id:
+                self.kernel.send_to_site(site, query)
+        self._maybe_finish_stability()
+
+    def _on_stability_query(self, src_site: int, msg: Message) -> None:
+        self.kernel.send_to_site(src_site, Message(
+            _proto="g.stab.a", gid=self.gid,
+            have=_encode_pairs(self.store.have_vector()),
+        ))
+
+    def _on_stability_answer(self, src_site: int, msg: Message) -> None:
+        answers = getattr(self, "_stab_answers", None)
+        if answers is None or self.view is None:
+            return
+        answers[src_site] = _decode_pairs(msg["have"])
+        self._maybe_finish_stability()
+
+    def _maybe_finish_stability(self) -> None:
+        answers = getattr(self, "_stab_answers", None)
+        if answers is None or self.view is None:
+            return
+        member_sites = set(self.view.member_sites())
+        if set(answers) < member_sites:
+            return
+        stable: Dict[int, int] = {}
+        origins = set()
+        for have in answers.values():
+            origins |= set(have)
+        for origin in origins:
+            stable[origin] = min(
+                answers[site].get(origin, 0) for site in member_sites)
+        self._stab_answers = None
+        trim = Message(_proto="g.stab.trim", gid=self.gid,
+                       stable=_encode_pairs(stable))
+        for site in member_sites:
+            if site != self.site_id:
+                self.kernel.send_to_site(site, trim)
+        self._on_stability_trim(trim)
+
+    def _on_stability_trim(self, msg: Message) -> None:
+        dropped = self.store.trim_stable(_decode_pairs(msg["stable"]))
+        if dropped:
+            self.sim.trace.bump("stability.trimmed", dropped)

@@ -1,0 +1,203 @@
+"""The view-change / GBCAST flush protocol.
+
+Virtual synchrony's central mechanism: before a group event that must be
+totally ordered with respect to *everything* (a membership change, a
+configuration update, or a user-level GBCAST), the group's traffic is
+brought to a consistent cut:
+
+1. ``g.fl.begin`` — the coordinator (the oldest member's kernel) tells
+   every member site to **wedge**: stop initiating new multicasts.
+2. ``g.fl.ok`` — each site reports its have-vector, its undelivered
+   ABCAST state (proposals / finals) and the finals of ABCASTs it has
+   already delivered.
+3. The coordinator computes the **union cut** — every message held
+   anywhere — and directs holders to refill sites that miss messages
+   (``g.fl.pull`` → ``g.fl.data`` → ``g.fl.filled``).
+4. ``g.fl.commit`` — carries the agreed ABCAST cut order and the event
+   (new view / payload).  Every site delivers the remaining old-view
+   messages identically, applies the event, and resumes in the new view.
+
+Failures *during* the flush restart it: a new coordinator (the oldest
+survivor) raises the flush id and reruns; all steps are idempotent.
+
+This module holds the coordinator's bookkeeping; the per-site participant
+behaviour lives in :mod:`repro.core.engine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..msg.address import Address
+from .store import MessageStore
+from .view import View
+
+#: Flush ids order lexicographically: (target view id, attempt, coordinator site).
+FlushId = Tuple[int, int, int]
+
+
+@dataclass
+class FlushReason:
+    """One queued cause for running a flush."""
+
+    kind: str                      # "join" | "remove" | "gbcast" | "config"
+    joiner: Optional[Address] = None
+    removals: Tuple[Address, ...] = ()
+    payload: Optional[bytes] = None    # encoded user message (gbcast/config)
+    user_entry: int = 0
+    transfer_state: bool = True        # joins: run state transfer?
+    reply_site: Optional[int] = None   # site to notify when done (join/leave)
+
+
+@dataclass
+class _SiteReport:
+    have: Dict[int, int]
+    ab_pending: List[Dict]
+    ab_delivered: List[Tuple[Tuple[int, int], Tuple[int, int]]]
+
+
+class FlushCoordinator:
+    """Coordinator-side state for one flush attempt.
+
+    ``participants`` is the set of member sites that are alive in the
+    current *site view* — dead sites cannot report, and their unreceived
+    messages are exactly what the union cut excludes (atomicity: such a
+    message is delivered nowhere).
+    """
+
+    def __init__(self, flush_id: FlushId, view: View,
+                 reasons: List[FlushReason],
+                 participants: Optional[Set[int]] = None):
+        self.flush_id = flush_id
+        self.view = view
+        self.reasons = reasons
+        self.member_sites: Set[int] = (
+            set(participants) if participants is not None
+            else set(view.member_sites())
+        )
+        self._reports: Dict[int, _SiteReport] = {}
+        self._filled: Set[int] = set()
+        self.union: Dict[int, int] = {}
+        self.phase = "collect"  # collect -> fill -> done
+
+    # -- phase 1: collect reports ------------------------------------------
+    def offer_report(self, site: int, have: Dict[int, int],
+                     ab_pending: List[Dict],
+                     ab_delivered: List) -> bool:
+        """Record one FLUSH_OK; True when all reports are in."""
+        if site not in self.member_sites or self.phase != "collect":
+            return False
+        self._reports[site] = _SiteReport(
+            have=have,
+            ab_pending=ab_pending,
+            ab_delivered=[((r[0][0], r[0][1]), (r[1][0], r[1][1]))
+                          for r in ab_delivered],
+        )
+        if set(self._reports) == self.member_sites:
+            self.union = MessageStore.union(
+                r.have for r in self._reports.values())
+            self.phase = "fill"
+            return True
+        return False
+
+    # -- phase 2: refill -------------------------------------------------------
+    def compute_pulls(self) -> Dict[int, List[Tuple[int, int, int]]]:
+        """holder_site -> [(origin, gseq, needy_site), ...]."""
+        pulls: Dict[int, List[Tuple[int, int, int]]] = {}
+        for needy, report in self._reports.items():
+            for origin_site, top in self.union.items():
+                already = report.have.get(origin_site, 0)
+                for gseq in range(already + 1, top + 1):
+                    holder = self._find_holder(origin_site, gseq)
+                    if holder is not None and holder != needy:
+                        pulls.setdefault(holder, []).append(
+                            (origin_site, gseq, needy))
+        return pulls
+
+    def _find_holder(self, origin_site: int, gseq: int) -> Optional[int]:
+        for site, report in self._reports.items():
+            if report.have.get(origin_site, 0) >= gseq:
+                return site
+        return None
+
+    def complete_sites(self) -> Set[int]:
+        """Sites whose reported have-vector already covers the union."""
+        done = set()
+        for site, report in self._reports.items():
+            covered = all(
+                report.have.get(origin, 0) >= top
+                for origin, top in self.union.items()
+            )
+            if covered:
+                done.add(site)
+        return done
+
+    def note_filled(self, site: int) -> bool:
+        """Record a FLUSH_FILLED; True when every site holds the union."""
+        if site in self.member_sites:
+            self._filled.add(site)
+        if self._filled >= self.member_sites:
+            self.phase = "done"
+            return True
+        return False
+
+    # -- phase 3: the agreed cut --------------------------------------------------
+    def abcast_cut_order(self) -> List[Tuple[List[int], List[int]]]:
+        """Final (ref, priority) list, sorted by priority.
+
+        For each undelivered ABCAST anywhere: if any site knows the true
+        final priority (delivered it, or holds it finalized), use that;
+        otherwise the final is the maximum over all reported proposals —
+        which equals the sender's choice, since the sender also maximized
+        over the member sites' proposals.
+        """
+        finals: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        proposals: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        delivered_everywhere: Set[Tuple[int, int]] = set()
+        for report in self._reports.values():
+            for ref, prio in report.ab_delivered:
+                finals[ref] = prio
+            for entry in report.ab_pending:
+                ref = (entry["ref"][0], entry["ref"][1])
+                prio = (entry["prio"][0], entry["prio"][1])
+                if entry["final"]:
+                    finals[ref] = prio
+                else:
+                    proposals.setdefault(ref, []).append(prio)
+        # A ref pending nowhere and delivered somewhere needs no cut entry
+        # only if *every* site delivered it; otherwise it must be ordered.
+        pending_refs = set(proposals)
+        for report in self._reports.values():
+            for entry in report.ab_pending:
+                pending_refs.add((entry["ref"][0], entry["ref"][1]))
+        for ref in list(finals):
+            if ref not in pending_refs:
+                if all(
+                    ref in dict(r.ab_delivered) for r in self._reports.values()
+                ):
+                    delivered_everywhere.add(ref)
+        order: List[Tuple[Tuple[int, int], Tuple[int, int]]] = []
+        for ref in pending_refs | (set(finals) - delivered_everywhere):
+            prio = finals.get(ref)
+            if prio is None:
+                prio = max(proposals[ref])
+            order.append((ref, prio))
+        order.sort(key=lambda item: item[1])
+        return [[list(ref), list(prio)] for ref, prio in order]
+
+    def next_view(self) -> View:
+        """Apply the queued reasons to produce the successor view."""
+        members = list(self.view.members)
+        for reason in self.reasons:
+            removed = {r.process() for r in reason.removals}
+            members = [m for m in members if m.process() not in removed]
+            if reason.joiner is not None:
+                joiner = reason.joiner.process()
+                if joiner not in members:
+                    members.append(joiner)
+        return View(
+            gid=self.view.gid,
+            view_id=self.view.view_id + 1,
+            members=tuple(members),
+        )

@@ -1,0 +1,1038 @@
+"""The per-site *protocols process* (Figure 1 of the paper).
+
+One :class:`ProtocolsProcess` runs at every operational site.  It
+
+* implements the multicast primitives and handles all inter-site
+  communication (every other process talks to it over the intra-site
+  hop);
+* maintains process-group views, *"using a cache for groups not resident
+  at the site"* (``contact_cache`` + watcher subscriptions);
+* runs the failure detector (heartbeats) and participates in the
+  site-view membership protocol;
+* hosts the replicated namespace and the group-RPC session table;
+* orchestrates joins, leaves, state transfer and recovery hand-off.
+
+Client processes never touch the network directly: the toolkit stubs in
+:mod:`repro.core.groups` cross the 10 ms intra-site hop into this kernel,
+exactly as ISIS clients called into their local protocols process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..errors import (
+    CodecError,
+    GroupError,
+    JoinRefused,
+    NoSuchGroup,
+    SiteDown,
+)
+from ..fd.heartbeat import HeartbeatConfig, HeartbeatMonitor
+from ..fd.siteview import SiteView, SiteViewAgent, SiteViewConfig
+from ..msg.address import Address, make_group_address
+from ..msg.message import Message
+from ..runtime.process import IsisProcess
+from ..runtime.site import KERNEL_LOCAL_ID, Site
+from ..sim.core import Timer
+from ..sim.tasks import Promise, all_of
+from .engine import ABCAST, CBCAST, GroupEngine
+from .flush import FlushReason
+from .namespace import Namespace
+from .rpc import ALL, SessionTable
+from .view import View
+
+#: Entry number reserved for pg_kill (the "send UNIX signal" of Table I).
+KILL_ENTRY = 255
+#: Entry number for coordinator-cohort reply copies (GENERIC_CC_REPLY, §6).
+CC_REPLY_ENTRY = 3
+
+_HEARTBEAT_PAYLOAD = b"hb"
+
+
+@dataclass
+class IsisConfig:
+    """Kernel tunables."""
+
+    heartbeat: HeartbeatConfig = field(default_factory=HeartbeatConfig)
+    siteview: SiteViewConfig = field(default_factory=SiteViewConfig)
+    stability_interval: float = 2.0    # buffer GC cadence
+    join_retry: float = 2.0            # joiner re-request cadence
+    transfer_retry: float = 4.0        # gated joiner re-requests its state
+    fwd_retries: int = 5               # client multicast forwarding attempts
+    fwd_timeout: float = 5.0           # re-forward if no dispatch heard
+    bulk_threshold: int = 32768        # state blobs beyond this use TCP
+    local_delivery_cpu: float = 0.0005 # CPU per local delivery hand-off
+    #: Batch concurrent GBCAST payloads into one flush.  On by default
+    #: (a throughput optimization over the original system); turn off to
+    #: reproduce the paper's per-update GBCAST costs.
+    gbcast_batching: bool = True
+
+
+class _JoinState:
+    __slots__ = ("process", "gid", "credentials", "promise", "timer",
+                 "welcomed", "transfer_timer", "tried")
+
+    def __init__(self, process: IsisProcess, gid: Address, credentials: Any,
+                 promise: Promise):
+        self.process = process
+        self.gid = gid
+        self.credentials = credentials
+        self.promise = promise
+        self.timer: Optional[Timer] = None
+        self.transfer_timer: Optional[Timer] = None
+        self.welcomed = False
+        #: Contact sites already tried (rotate when the contact is dead).
+        self.tried: Set[int] = set()
+
+
+class ProtocolsProcess:
+    """The kernel at one site."""
+
+    def __init__(self, site: Site, all_sites: List[int],
+                 config: Optional[IsisConfig] = None,
+                 join_existing: bool = False):
+        self.site = site
+        self.sim = site.sim
+        self.site_id = site.site_id
+        self.config = config or IsisConfig()
+        self.alive = True
+        self.process = site.spawn_process("protocols", local_id=KERNEL_LOCAL_ID)
+        site.kernel = self  # type: ignore[attr-defined]
+        site.set_message_handler(self._on_transport_message)
+        assert site.transport is not None
+        site.transport.on_raw = self._on_raw
+        site.on_crash(lambda _site: self.shutdown())
+        # Failure detection + site views.
+        self.heartbeat = HeartbeatMonitor(
+            self.sim, self.site_id,
+            send_probe=self._send_heartbeat,
+            on_suspect=self._on_suspect,
+            config=self.config.heartbeat,
+        )
+        self.agent = SiteViewAgent(
+            self.sim, self.site_id, site.incarnation, all_sites,
+            send=self.send_to_site,
+            on_view=self._on_site_view,
+            self_destruct=self._self_destruct,
+            config=self.config.siteview,
+        )
+        # Namespace + RPC.
+        self.namespace = Namespace(self.sim, self.site_id, self.send_to_site)
+        intra = site.cluster.lan.config.intra_site_delay
+        self.sessions = SessionTable(self.sim, resolve_delay=intra)
+        # Groups.
+        self.engines: Dict[Address, GroupEngine] = {}
+        self.contact_cache: Dict[Address, int] = {}
+        self._next_group_no = 1
+        self._joins: Dict[Address, _JoinState] = {}
+        self._leave_waiters: Dict[Tuple[Address, Address], Promise] = {}
+        self._awaiting_state: Dict[Address, List[Message]] = {}
+        self._join_validators: Dict[Address, List[Callable]] = {}
+        self._watched_procs: Set[int] = set()
+        self._client_monitors: Dict[Address, List[Callable[[View], None]]] = {}
+        self._watched_views: Dict[Address, Set[Address]] = {}
+        self._fwd_attempts: Dict[int, int] = {}
+        self._fwd_tried: Dict[int, Set[int]] = {}
+        #: Forwarded multicasts not yet acknowledged by a dispatcher.
+        #: Needed for nwant=0 sends whose session resolves immediately:
+        #: the fire-and-forget message must still reach a live member.
+        self._fwd_unacked: Set[int] = set()
+        self._outstanding_sends: Dict[Address, List[Promise]] = {}
+        # Extension hooks for the tools layer.
+        self.view_hooks: List[Callable] = []
+        self.site_view_hooks: List[Callable] = []
+        self._services: Dict[str, Callable[[int, Message], None]] = {}
+        self._stability_timer: Optional[Timer] = None
+        self._schedule_stability()
+        self.heartbeat.start()
+        if join_existing:
+            self.agent.request_join()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        if not self.alive:
+            return
+        self.alive = False
+        self.heartbeat.stop()
+        self.agent.stop()
+        if self._stability_timer is not None:
+            self._stability_timer.cancel()
+        self.engines.clear()
+
+    def _self_destruct(self) -> None:
+        """We were excluded from the site view while alive (§3.7)."""
+        self.sim.trace.log("kernel.self_destruct", self.site_id)
+        self.site.crash()
+
+    def genesis(self, members: List[Tuple[int, int]]) -> None:
+        """Install the initial site view (cluster bootstrap)."""
+        self.agent.genesis(members)
+
+    @property
+    def site_view(self) -> Optional[SiteView]:
+        return self.agent.view
+
+    def alive_sites(self) -> Set[int]:
+        """Sites in the current site view (everyone, before genesis)."""
+        view = self.agent.view
+        if view is None:
+            return set(range(len(self.site.cluster.sites)))
+        return set(view.sites())
+
+    # ------------------------------------------------------------------
+    # Transport plumbing
+    # ------------------------------------------------------------------
+    def send_to_site(self, dst_site: int, msg: Message,
+                     piggyback: bool = False) -> Promise:
+        """Reliable FIFO send of a control/data message to a site kernel."""
+        if dst_site == self.site_id:
+            promise = Promise(label="loopback")
+            data = msg.encode()  # loopbacks still pay encoding fidelity
+            self.sim.call_soon(self._dispatch, self.site_id, Message.decode(data))
+            promise.resolve(None)
+            return promise
+        try:
+            return self.site.send_bytes(dst_site, msg.encode(),
+                                        piggyback=piggyback)
+        except SiteDown:
+            promise = Promise(label="send-to-down-site")
+            promise.reject(SiteDown(f"site {dst_site} down"))
+            return promise
+
+    def bulk_to_site(self, dst_site: int, msg: Message) -> None:
+        """Ship a large message over the TCP-like bulk channel."""
+        data = msg.encode()
+        dst = self.site.cluster.sites.get(dst_site)
+        if dst is None or not dst.up:
+            return
+        promise = self.site.cluster.bulk.transfer(
+            self.site_id, dst_site, data, self.site.cpu, dst.cpu)
+
+        def arrived(p: Promise) -> None:
+            if p.rejected:
+                return
+            kernel = getattr(self.site.cluster.sites.get(dst_site), "kernel", None)
+            if kernel is not None and kernel.alive:
+                kernel._dispatch(self.site_id, Message.decode(p.value))
+
+        promise.add_done_callback(arrived)
+
+    def _on_transport_message(self, src_site: int, data: bytes) -> None:
+        if not self.alive:
+            return
+        try:
+            msg = Message.decode(data)
+        except CodecError:
+            self.sim.trace.bump("kernel.undecodable")
+            return
+        self._dispatch(src_site, msg)
+
+    def _on_raw(self, src_site: int, payload: bytes) -> None:
+        if self.alive and payload == _HEARTBEAT_PAYLOAD:
+            self.heartbeat.note_heartbeat(src_site)
+
+    def _send_heartbeat(self, dst_site: int) -> None:
+        if self.alive and self.site.transport is not None:
+            self.site.transport.send_raw(dst_site, _HEARTBEAT_PAYLOAD)
+
+    def _on_suspect(self, site_id: int) -> None:
+        self.agent.suspect(site_id)
+        # Unblock waiting callers immediately: a suspected site's members
+        # count as failed respondents (§2.2 — "the caller should be
+        # informed if all members fail"; detection is by timeout, §2.1).
+        # If the suspicion was false the site recovers anyway (§3.7), so
+        # treating its replies as lost is sound.
+        self.sessions_note_sites_failed({site_id})
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, src_site: int, msg: Message) -> None:
+        if not self.alive:
+            return
+        proto = msg.get("_proto", "")
+        if proto.startswith("sv."):
+            self.agent.handle(src_site, msg)
+        elif proto.startswith("ns."):
+            self.namespace.handle(src_site, msg)
+        elif proto == "rpc.reply":
+            self.sessions.on_reply(
+                msg["session"], msg["responder"], msg["m"], msg["null"])
+        elif proto == "rpc.dispatched":
+            self._fwd_unacked.discard(msg["session"])
+            self.sessions.on_dispatched(msg["session"], msg["members"],
+                                        via_site=msg.get("via"))
+        elif proto == "g.join":
+            self._on_join_request(src_site, msg)
+        elif proto == "g.join.refused":
+            self._on_join_refused(msg)
+        elif proto == "g.welcome":
+            self._on_welcome(msg)
+        elif proto == "g.dead":
+            self._on_member_dead_notice(msg)
+        elif proto == "g.leave":
+            self._on_leave_request(src_site, msg)
+        elif proto == "g.gb":
+            self._on_gbcast_request(src_site, msg)
+        elif proto == "g.fwd":
+            self._on_forwarded_mcast(src_site, msg)
+        elif proto == "g.fwd.nak":
+            self._on_forward_nak(msg)
+        elif proto == "g.watch":
+            self._on_watch_request(src_site, msg)
+        elif proto == "g.view_update":
+            self._on_view_update(msg)
+        elif proto == "st.data":
+            self._on_state_data(msg)
+        elif proto == "st.req":
+            self._on_state_rerequest(src_site, msg)
+        elif proto == "st.send":
+            self._on_state_send_order(msg)
+        elif proto.startswith("g."):
+            engine = self._engine_for(msg.get("gid"), create=True)
+            if engine is not None:
+                engine.handle(src_site, msg)
+        else:
+            for prefix, handler in self._services.items():
+                if proto.startswith(prefix):
+                    handler(src_site, msg)
+                    return
+            self.sim.trace.bump("kernel.unknown_proto")
+
+    def register_service(self, prefix: str,
+                         handler: Callable[[int, Message], None]) -> None:
+        """Attach a site service (recovery manager, news routing, ...)."""
+        self._services[prefix] = handler
+
+    def _engine_for(self, gid: Optional[Address],
+                    create: bool = False) -> Optional[GroupEngine]:
+        if gid is None:
+            return None
+        key = gid.process()
+        engine = self.engines.get(key)
+        if engine is None and create:
+            engine = GroupEngine(self, key)
+            self.engines[key] = engine
+        return engine
+
+    # ------------------------------------------------------------------
+    # Services used by GroupEngine
+    # ------------------------------------------------------------------
+    def causal_context(self) -> Dict[Address, Tuple[int, Any]]:
+        """Snapshot of delivered vectors across our groups (for CBCAST)."""
+        context = {}
+        for gid, engine in self.engines.items():
+            if engine.installed and engine.view is not None:
+                context[gid] = (engine.view.view_id,
+                                engine.causal.delivered.copy())
+        return context
+
+    def check_context(self, context: Dict[Address, Tuple[int, Any]]) -> bool:
+        """Is this causal context satisfied at our kernel?"""
+        for gid, (view_id, vc) in context.items():
+            engine = self.engines.get(gid.process())
+            if engine is None or not engine.installed or engine.view is None:
+                continue  # not a member: cannot (and need not) wait
+            if engine.view.view_id > view_id:
+                continue  # older view fully flushed: satisfied
+            if engine.view.view_id < view_id:
+                return False  # we have not even reached that view yet
+            if not engine.causal.delivered.dominates(vc):
+                return False
+        return True
+
+    def recheck_causal(self, exclude: Optional[Address] = None) -> None:
+        """A group advanced: unblock cross-group causal waits elsewhere."""
+        for gid, engine in list(self.engines.items()):
+            if exclude is not None and gid == exclude.process():
+                continue
+            if engine.causal.pending_count:
+                for ready in engine.causal.recheck():
+                    engine._deliver_env(ready)
+
+    def deliver_to_local_members(self, engine: GroupEngine,
+                                 user: Message) -> None:
+        """Hand a delivered group message to every local member process."""
+        if user.entry == KILL_ENTRY:
+            for member in engine.local_members():
+                process = self.site.process_by_id(member.local_id)
+                if process is not None and process.alive:
+                    self.sim.trace.bump("pg_kill.signals")
+                    process.kill()
+            return
+        intra = self.site.cluster.lan.config.intra_site_delay
+        for member in engine.local_members():
+            copy = user.copy()
+            if member.process() in self._awaiting_state:
+                self._awaiting_state[member.process()].append(copy)
+                continue
+            process = self.site.process_by_id(member.local_id)
+            if process is None or not process.alive:
+                continue
+            self.site.cpu.submit(
+                self.config.local_delivery_cpu,
+                self.sim.call_after, intra, process.deliver, copy)
+
+    def on_view_installed(self, engine: GroupEngine, old_view: View,
+                          new_view: View, event: Dict) -> None:
+        """Every member site runs this when a flush commit installs."""
+        gid = engine.gid
+        if new_view.members:
+            self.contact_cache[gid] = new_view.coordinator().site
+        removed = [m for m in old_view.members if not new_view.contains(m)]
+        if removed:
+            self.sessions.note_members_failed(removed)
+        # Resolve local leave waiters.
+        for member in removed:
+            waiter = self._leave_waiters.pop((gid, member.process()), None)
+            if waiter is not None and not waiter.done:
+                waiter.resolve(None)
+        # Watch local member processes for death (local failure detection).
+        for member in new_view.members_at(self.site_id):
+            self._watch_member(engine, member)
+        # State transfer: the designated source ships state to the joiner.
+        joiner = event.get("joiner")
+        source = event.get("source")
+        if (joiner is not None and event.get("transfer")
+                and source is not None and source.site == self.site_id):
+            self._send_state(engine, source, joiner)
+        # GBCAST payload sessions: the caller learns the delivery view.
+        for payload in event.get("payloads", []):
+            m = payload["m"]
+            session = m.get("_session")
+            reply_to = m.get("_reply_to")
+            if session is not None and reply_to is not None \
+                    and reply_to.site == self.site_id:
+                self.sessions.on_dispatched(session, list(new_view.members))
+        for hook in self.view_hooks:
+            hook(engine, old_view, new_view, event)
+
+    def on_flush_committed(self, engine: GroupEngine, active, new_view: View,
+                           event: Dict) -> None:
+        """Coordinator-only duties at commit time."""
+        joiner = event.get("joiner")
+        if joiner is not None:
+            welcome = Message(
+                _proto="g.welcome", gid=engine.gid,
+                view=new_view.to_value(),
+                transfer=bool(event.get("transfer")),
+            )
+            self.send_to_site(joiner.site, welcome)
+        update = Message(_proto="g.view_update", gid=engine.gid,
+                         view=new_view.to_value())
+        for watcher in set(engine.watcher_sites):
+            if watcher != self.site_id:
+                self.send_to_site(watcher, update)
+
+    def retire_engine(self, engine: GroupEngine) -> None:
+        """No local members remain in the group's current view."""
+        self.engines.pop(engine.gid.process(), None)
+
+    def _watch_member(self, engine: GroupEngine, member: Address) -> None:
+        if member.local_id in self._watched_procs:
+            return
+        process = self.site.process_by_id(member.local_id)
+        if process is None:
+            return
+        self._watched_procs.add(member.local_id)
+
+        def died(proc: IsisProcess) -> None:
+            self._watched_procs.discard(proc.local_id)
+            if not self.alive:
+                return
+            for eng in list(self.engines.values()):
+                if eng.view is not None and eng.view.contains(proc.address):
+                    eng.on_local_member_died(proc.address)
+
+        process.watch_death(died)
+
+    # ------------------------------------------------------------------
+    # Site-view reactions
+    # ------------------------------------------------------------------
+    def _on_site_view(self, view: SiteView, departed: Set[int],
+                      joined: Set[int]) -> None:
+        self.heartbeat.set_peers(view.sites())
+        is_ns_coordinator = view.coordinator_site() == self.site_id
+        self.namespace.set_role(is_ns_coordinator, list(view.sites()))
+        if is_ns_coordinator and joined:
+            self.namespace.snapshot_to(sorted(joined))
+        if departed and self.site.transport is not None:
+            for site in departed:
+                self.site.transport.reset_channel(site)
+            self.sessions_note_sites_failed(departed)
+            for engine in list(self.engines.values()):
+                engine.on_sites_died(departed)
+        for hook in self.site_view_hooks:
+            hook(view, departed, joined)
+
+    def sessions_note_sites_failed(self, sites: Set[int]) -> None:
+        from ..errors import BroadcastFailed
+        for session in list(self.sessions._sessions.values()):
+            if session.via_site is not None and session.via_site in sites \
+                    and session.via_site != self.site_id:
+                # The site that disseminated for us died: the multicast
+                # may have been dropped atomically.  Error code → reissue.
+                self.sessions.note_session_failed(
+                    session.id,
+                    BroadcastFailed(
+                        f"session {session.id}: disseminating site "
+                        f"{session.via_site} failed", session.replies))
+                continue
+            if session.expected is None:
+                continue
+            dead = [m for m in session.expected if m.site in sites]
+            if dead:
+                self.sessions.note_members_failed(dead)
+
+    # ------------------------------------------------------------------
+    # Group operations (called by the toolkit stubs)
+    # ------------------------------------------------------------------
+    def create_group(self, process: IsisProcess, name: str) -> Promise:
+        """Mint a group with this process as sole (oldest) member."""
+        self.sim.trace.bump("tool.pg_create")
+        gid = make_group_address(self.site_id, self._next_group_no)
+        gid = Address(site=gid.site, incarnation=self.site.incarnation,
+                      local_id=gid.local_id, is_group=True)
+        self._next_group_no += 1
+        engine = GroupEngine(self, gid, name)
+        self.engines[gid] = engine
+        view = engine.create(process.address)
+        self.contact_cache[gid] = self.site_id
+        self._watch_member(engine, process.address)
+        sv = self.site_view
+        coordinator = sv.coordinator_site() if sv is not None else self.site_id
+        out = Promise(label=f"pg_create({name})")
+        self.namespace.register(name, gid, self.site_id, coordinator) \
+            .add_done_callback(lambda p: out.resolve(gid))
+        return out
+
+    def lookup_name(self, name: str) -> Promise:
+        """Resolve a symbolic group name (Table I: pg_lookup)."""
+        self.sim.trace.bump("tool.pg_lookup")
+        sv = self.site_view
+        coordinator = sv.coordinator_site() if sv is not None else self.site_id
+        out = Promise(label=f"pg_lookup({name})")
+
+        def finish(p: Promise) -> None:
+            gid = p.value if not p.rejected else None
+            if gid is None:
+                out.reject(NoSuchGroup(f"no group named {name!r}"))
+            else:
+                hint = self.namespace.contact_hint(name)
+                if hint is not None and gid not in self.contact_cache:
+                    self.contact_cache[gid.process()] = hint
+                out.resolve(gid)
+
+        self.namespace.query(name, coordinator).add_done_callback(finish)
+        return out
+
+    def join_group(self, process: IsisProcess, gid: Address,
+                   credentials: Any = None) -> Promise:
+        """Request membership; resolves with the first view we appear in."""
+        self.sim.trace.bump("tool.pg_join")
+        key = gid.process()
+        promise = Promise(label=f"pg_join({gid})")
+        state = _JoinState(process, key, credentials, promise)
+        self._joins[key] = state
+        # Gate deliveries to the joiner until its state arrives.
+        self._awaiting_state.setdefault(process.address.process(), [])
+        self._send_join_request(state)
+        return promise
+
+    def _send_join_request(self, state: _JoinState) -> None:
+        if state.promise.done or not self.alive:
+            return
+        # Rotate through alive sites when the cached contact is silent:
+        # any member site forwards the request to the acting coordinator.
+        cached = self.contact_cache.get(state.gid, state.gid.site)
+        candidates = [cached] + sorted(self.alive_sites())
+        contact = next((s for s in candidates if s not in state.tried), None)
+        if contact is None:
+            state.tried.clear()
+            contact = cached
+        state.tried.add(contact)
+        self.send_to_site(contact, Message(
+            _proto="g.join", gid=state.gid,
+            joiner=state.process.address.process(),
+            cred=state.credentials,
+        ))
+        state.timer = self.sim.call_after(
+            self.config.join_retry, self._send_join_request, state)
+
+    def _on_join_request(self, src_site: int, msg: Message) -> None:
+        gid: Address = msg["gid"]
+        joiner: Address = msg["joiner"]
+        engine = self.engines.get(gid.process())
+        if engine is None or not engine.installed or engine.view is None:
+            self.send_to_site(joiner.site, Message(
+                _proto="g.fwd.nak", gid=gid, session=-1,
+                hint=self.contact_cache.get(gid.process()),
+            ))
+            return
+        if not engine.is_coordinator_site():
+            self.send_to_site(engine.view.coordinator().site, msg)
+            return
+        if engine.view.contains(joiner):
+            # Already a member (duplicate request): re-welcome.
+            self.send_to_site(joiner.site, Message(
+                _proto="g.welcome", gid=gid,
+                view=engine.view.to_value(), transfer=False,
+            ))
+            return
+        for validator in self._join_validators.get(gid.process(), []):
+            if not validator(joiner, msg.get("cred")):
+                self.sim.trace.bump("protection.joins_refused")
+                self.send_to_site(joiner.site, Message(
+                    _proto="g.join.refused", gid=gid, joiner=joiner))
+                return
+        engine.enqueue_reason(FlushReason(kind="join", joiner=joiner))
+
+    def _on_join_refused(self, msg: Message) -> None:
+        state = self._joins.pop(msg["gid"].process(), None)
+        if state is not None:
+            if state.timer is not None:
+                state.timer.cancel()
+            self._release_gate(state.process.address, deliver=False)
+            state.promise.reject(JoinRefused(f"join to {msg['gid']} refused"))
+
+    def _on_welcome(self, msg: Message) -> None:
+        gid: Address = msg["gid"]
+        view = View.from_value(msg["view"])
+        engine = self._engine_for(gid, create=True)
+        assert engine is not None
+        if not engine.installed:
+            engine.install_from_welcome(view, gated=False)
+        self.contact_cache[gid.process()] = view.coordinator().site
+        state = self._joins.get(gid.process())
+        if state is None:
+            return
+        state.welcomed = True
+        if state.timer is not None:
+            state.timer.cancel()
+            state.timer = None
+        for member in view.members_at(self.site_id):
+            self._watch_member(engine, member)
+        if msg["transfer"]:
+            state.transfer_timer = self.sim.call_after(
+                self.config.transfer_retry, self._rerequest_state, state)
+        else:
+            self._finish_join(state, view)
+
+    def _finish_join(self, state: _JoinState, view: View) -> None:
+        self._joins.pop(state.gid, None)
+        if state.transfer_timer is not None:
+            state.transfer_timer.cancel()
+        self._release_gate(state.process.address, deliver=True)
+        intra = self.site.cluster.lan.config.intra_site_delay
+        self.sim.call_after(intra, state.promise.resolve, view)
+
+    def _release_gate(self, member: Address, deliver: bool) -> None:
+        queued = self._awaiting_state.pop(member.process(), [])
+        if not deliver:
+            return
+        process = self.site.process_by_id(member.local_id)
+        if process is None or not process.alive:
+            return
+        intra = self.site.cluster.lan.config.intra_site_delay
+        for msg in queued:
+            self.site.cpu.submit(
+                self.config.local_delivery_cpu,
+                self.sim.call_after, intra, process.deliver, msg)
+
+    # -- state transfer -----------------------------------------------------
+    def _send_state(self, engine: GroupEngine, source: Address,
+                    joiner: Address) -> None:
+        process = self.site.process_by_id(source.local_id)
+        if process is None or not process.alive:
+            return  # the flush removing us will trigger a re-request
+        segments = {}
+        for name, (encoder, _decoder) in getattr(
+                process, "xfer_segments", {}).items():
+            segments[name] = list(encoder())
+        payload = Message(_proto="st.data", gid=engine.gid, segments=segments)
+        self.sim.trace.bump("state_transfer.sent")
+        if payload.size_bytes > self.config.bulk_threshold:
+            self.sim.trace.bump("state_transfer.bulk")
+            self.bulk_to_site(joiner.site, payload)
+        else:
+            self.send_to_site(joiner.site, payload)
+
+    def _on_state_data(self, msg: Message) -> None:
+        gid: Address = msg["gid"]
+        state = self._joins.get(gid.process())
+        if state is None:
+            return
+        process = state.process
+        decoders = getattr(process, "xfer_segments", {})
+        for name, blocks in msg["segments"].items():
+            entry = decoders.get(name)
+            if entry is not None:
+                entry[1]([bytes(b) for b in blocks])
+        engine = self.engines.get(gid.process())
+        view = engine.view if engine is not None else None
+        if view is not None:
+            self._finish_join(state, view)
+
+    def _rerequest_state(self, state: _JoinState) -> None:
+        """The transfer source may have died: ask the coordinator again."""
+        if state.promise.done or not self.alive:
+            return
+        contact = self.contact_cache.get(state.gid, state.gid.site)
+        self.send_to_site(contact, Message(
+            _proto="st.req", gid=state.gid,
+            joiner=state.process.address.process(),
+        ))
+        state.transfer_timer = self.sim.call_after(
+            self.config.transfer_retry, self._rerequest_state, state)
+
+    def _on_state_rerequest(self, src_site: int, msg: Message) -> None:
+        gid: Address = msg["gid"]
+        engine = self.engines.get(gid.process())
+        if engine is None or engine.view is None or not engine.installed:
+            return
+        if not engine.is_coordinator_site():
+            self.send_to_site(engine.view.coordinator().site, msg)
+            return
+        source = engine.view.coordinator()
+        order = Message(_proto="st.send", gid=gid, joiner=msg["joiner"],
+                        source=source)
+        self.send_to_site(source.site, order)
+
+    def _on_state_send_order(self, msg: Message) -> None:
+        engine = self.engines.get(msg["gid"].process())
+        if engine is not None:
+            self._send_state(engine, msg["source"], msg["joiner"])
+
+    # -- leave / kill ------------------------------------------------------------
+    def leave_group(self, process: IsisProcess, gid: Address) -> Promise:
+        self.sim.trace.bump("tool.pg_leave")
+        key = gid.process()
+        member = process.address.process()
+        promise = Promise(label=f"pg_leave({gid})")
+        engine = self.engines.get(key)
+        if engine is None or engine.view is None or not engine.view.contains(member):
+            promise.resolve(None)
+            return promise
+        self._leave_waiters[(key, member)] = promise
+        if engine.is_coordinator_site():
+            engine.enqueue_reason(FlushReason(kind="remove",
+                                              removals=(member,)))
+        else:
+            self.send_to_site(engine.view.coordinator().site, Message(
+                _proto="g.leave", gid=key, member=member))
+        return promise
+
+    def _on_leave_request(self, src_site: int, msg: Message) -> None:
+        engine = self.engines.get(msg["gid"].process())
+        if engine is None or not engine.installed or engine.view is None:
+            return
+        if not engine.is_coordinator_site():
+            self.send_to_site(engine.view.coordinator().site, msg)
+            return
+        engine.enqueue_reason(FlushReason(kind="remove",
+                                          removals=(msg["member"],)))
+
+    def _on_member_dead_notice(self, msg: Message) -> None:
+        engine = self.engines.get(msg["gid"].process())
+        if engine is not None and engine.is_coordinator_site():
+            engine.enqueue_reason(FlushReason(kind="remove",
+                                              removals=(msg["member"],)))
+
+    # -- multicast -------------------------------------------------------------
+    def group_mcast(self, process: IsisProcess, gid: Address, kind: str,
+                    user: Message, entry: int, nwant: int) -> Promise:
+        """CBCAST/ABCAST to a group, collecting ``nwant`` replies."""
+        caller = process.address.process()
+        session = self.sessions.create(caller, nwant)
+        user["_sender"] = caller
+        user["_session"] = session.id
+        user["_reply_to"] = caller
+        engine = self.engines.get(gid.process())
+        if engine is not None and engine.installed:
+            def dispatched(view: View) -> None:
+                self.sessions.on_dispatched(session.id, list(view.members))
+            engine.mcast(kind, self._disseminator(engine, process), user,
+                         entry, on_dispatched=dispatched)
+        else:
+            self._forward_mcast(session.id, gid, kind, user, entry, nwant)
+        return session.promise
+
+    def _disseminator(self, engine: GroupEngine,
+                      process: IsisProcess) -> Address:
+        """The member identity under which we disseminate (VC dimension)."""
+        addr = process.address.process()
+        if engine.view is not None and engine.view.contains(addr):
+            return addr
+        local = engine.local_members()
+        if local:
+            return local[0]
+        return addr
+
+    def _forward_mcast(self, session_id: int, gid: Address, kind: str,
+                       user: Message, entry: int, nwant: int) -> None:
+        attempts = self._fwd_attempts.get(session_id, 0)
+        if attempts >= self.config.fwd_retries:
+            self._fwd_attempts.pop(session_id, None)
+            self.sessions.note_session_failed(
+                session_id, NoSuchGroup(f"cannot reach group {gid}"))
+            return
+        self._fwd_attempts[session_id] = attempts + 1
+        self._fwd_unacked.add(session_id)
+        contact = self._pick_contact(session_id, gid)
+        self.send_to_site(contact, Message(
+            _proto="g.fwd", gid=gid.process(), kind=kind, m=user,
+            entry=entry, session=session_id, caller_site=self.site_id,
+            nwant=nwant,
+        ))
+        if nwant == 0:
+            # Fire-and-forget for the *caller* — but the message must
+            # still reach a live dispatcher, so the retry loop runs on.
+            self.sessions.on_dispatched(session_id, [])
+        # The contact may be down or stale: re-forward until the dispatch
+        # notice arrives (the attempt counter bounds this, after which
+        # a waiting caller gets its error code).
+        self.sim.call_after(
+            self.config.fwd_timeout,
+            self._refwd_if_undispatched, session_id, gid, kind, user,
+            entry, nwant)
+
+    def _pick_contact(self, session_id: int, gid: Address) -> int:
+        """Best contact site: the cache, then untried alive sites.
+
+        A dead or stale contact is marked tried and the next attempt
+        rotates to another operational site — any member site dispatches,
+        non-members nak with a hint.
+        """
+        tried = self._fwd_tried.setdefault(session_id, set())
+        cached = self.contact_cache.get(gid.process(), gid.site)
+        candidates = [cached] + sorted(self.alive_sites())
+        for site in candidates:
+            if site not in tried:
+                tried.add(site)
+                return site
+        tried.clear()  # second sweep
+        tried.add(cached)
+        return cached
+
+    def _refwd_if_undispatched(self, session_id: int, gid: Address,
+                               kind: str, user: Message, entry: int,
+                               nwant: int) -> None:
+        if not self.alive:
+            return
+        session = self.sessions.get(session_id)
+        if session is not None:
+            acked = session.dispatched and nwant != 0
+        else:
+            acked = session_id not in self._fwd_unacked
+        if acked or session_id not in self._fwd_unacked:
+            self._fwd_attempts.pop(session_id, None)
+            self._fwd_tried.pop(session_id, None)
+            self._fwd_unacked.discard(session_id)
+            return
+        self._forward_mcast(session_id, gid, kind, user, entry, nwant)
+
+    def _on_forwarded_mcast(self, src_site: int, msg: Message) -> None:
+        gid: Address = msg["gid"]
+        engine = self.engines.get(gid.process())
+        if engine is None or not engine.installed or engine.view is None:
+            self.send_to_site(src_site, Message(
+                _proto="g.fwd.nak", gid=gid, session=msg["session"],
+                hint=self.contact_cache.get(gid.process()),
+            ))
+            return
+        caller_site = msg["caller_site"]
+        session_id = msg["session"]
+        user: Message = msg["m"]
+        local = engine.local_members()
+        disseminator = local[0] if local else engine.view.coordinator()
+
+        def dispatched(view: View) -> None:
+            engine.watcher_sites.add(caller_site)
+            if caller_site == self.site_id:
+                self.sessions.on_dispatched(session_id, list(view.members),
+                                            via_site=self.site_id)
+            else:
+                self.send_to_site(caller_site, Message(
+                    _proto="rpc.dispatched", session=session_id,
+                    members=list(view.members), via=self.site_id,
+                ))
+
+        engine.mcast(msg["kind"], disseminator, user, msg["entry"],
+                     on_dispatched=dispatched)
+
+    def _on_forward_nak(self, msg: Message) -> None:
+        session_id = msg["session"]
+        if session_id < 0:
+            return  # join-request nak: the join retry loop handles it
+        hint = msg.get("hint")
+        if hint is not None:
+            self.contact_cache[msg["gid"].process()] = hint
+            self._fwd_tried.get(session_id, set()).discard(hint)
+        self.sim.trace.bump("fwd.naks")
+        # The timeout-driven retry loop will re-forward (to the hint or
+        # to the next untried site); naks alone never fail the session.
+
+    # -- gbcast ------------------------------------------------------------------
+    def group_gbcast(self, process: IsisProcess, gid: Address, user: Message,
+                     entry: int, nwant: int) -> Promise:
+        """GBCAST: delivered at a flush, ordered relative to everything.
+
+        The flush itself is the multicast (counted as ``flush.runs``), so
+        no separate ``mcast.gbcast`` counter is bumped here.
+        """
+        caller = process.address.process()
+        session = self.sessions.create(caller, nwant)
+        user["_sender"] = caller
+        user["_session"] = session.id
+        user["_reply_to"] = caller
+        engine = self.engines.get(gid.process())
+        reason = FlushReason(kind="gbcast", payload=user.encode(),
+                             user_entry=entry)
+        if engine is not None and engine.installed and engine.is_coordinator_site():
+            engine.enqueue_reason(reason)
+        else:
+            contact = self.contact_cache.get(gid.process(), gid.site)
+            self.send_to_site(contact, Message(
+                _proto="g.gb", gid=gid.process(), m=user, entry=entry))
+        if nwant == 0:
+            self.sessions.on_dispatched(session.id, [])
+        return session.promise
+
+    def _on_gbcast_request(self, src_site: int, msg: Message) -> None:
+        engine = self.engines.get(msg["gid"].process())
+        if engine is None or not engine.installed or engine.view is None:
+            return
+        if not engine.is_coordinator_site():
+            self.send_to_site(engine.view.coordinator().site, msg)
+            return
+        engine.enqueue_reason(FlushReason(
+            kind="gbcast", payload=msg["m"].encode(),
+            user_entry=msg["entry"]))
+
+    # -- replies -----------------------------------------------------------------
+    def send_reply(self, process: IsisProcess, request: Message,
+                   reply: Message, null: bool = False,
+                   cc_gid: Optional[Address] = None) -> None:
+        """Answer a group RPC (Table I: 1 async CBCAST)."""
+        session = request.get("_session")
+        reply_to: Optional[Address] = request.get("_reply_to")
+        if session is None or reply_to is None:
+            return
+        # Null replies are control traffic, not logical multicasts.
+        self.sim.trace.bump("mcast.null_reply" if null else "mcast.reply")
+        reply = reply.copy()
+        reply["_sender"] = process.address.process()
+        note = Message(
+            _proto="rpc.reply", session=session,
+            responder=process.address.process(), null=null, m=reply,
+        )
+        if reply_to.site == self.site_id:
+            self.sessions.on_reply(session, note["responder"], reply, null)
+        else:
+            self.send_to_site(reply_to.site, note)
+        if cc_gid is not None and not null:
+            engine = self.engines.get(cc_gid.process())
+            if engine is not None and engine.installed:
+                copy = reply.copy()
+                copy["cc_session"] = session
+                # Table I costs reply_cc as ONE async CBCAST whose
+                # destination list includes the cohorts: not re-counted.
+                engine.mcast(CBCAST, process.address.process(), copy,
+                             CC_REPLY_ENTRY, audited=False)
+
+    # -- monitors / watchers --------------------------------------------------------
+    def current_view(self, gid: Address) -> Optional[View]:
+        """The local replica's view of a group (None if not a member here)."""
+        engine = self.engines.get(gid.process())
+        if engine is not None and engine.installed:
+            return engine.view
+        return None
+
+    def monitor_group(self, process: IsisProcess, gid: Address,
+                      callback: Callable[[View], None]) -> Promise:
+        """pg_monitor: invoke ``callback(view)`` on membership changes."""
+        self.sim.trace.bump("tool.pg_monitor")
+        promise = Promise(label=f"pg_monitor({gid})")
+        engine = self.engines.get(gid.process())
+        if engine is not None and engine.installed:
+            engine.monitors.append(callback)
+            promise.resolve(engine.view)
+            return promise
+        self._client_monitors.setdefault(gid.process(), []).append(callback)
+        contact = self.contact_cache.get(gid.process(), gid.site)
+        self.send_to_site(contact, Message(_proto="g.watch", gid=gid.process()))
+        promise.resolve(None)
+        return promise
+
+    def _on_watch_request(self, src_site: int, msg: Message) -> None:
+        engine = self.engines.get(msg["gid"].process())
+        if engine is None or not engine.installed or engine.view is None:
+            return
+        if not engine.is_coordinator_site():
+            self.send_to_site(engine.view.coordinator().site, msg)
+            return
+        engine.watcher_sites.add(src_site)
+        self.send_to_site(src_site, Message(
+            _proto="g.view_update", gid=engine.gid,
+            view=engine.view.to_value(),
+        ))
+
+    def _on_view_update(self, msg: Message) -> None:
+        gid: Address = msg["gid"]
+        view = View.from_value(msg["view"])
+        key = gid.process()
+        if view.members:
+            self.contact_cache[key] = view.coordinator().site
+        previous = self._watched_views.get(key, set())
+        current = {m.process() for m in view.members}
+        removed = previous - current
+        if removed:
+            self.sessions.note_members_failed(sorted(removed))
+        self._watched_views[key] = current
+        for callback in self._client_monitors.get(key, []):
+            callback(view)
+
+    # -- misc tools ---------------------------------------------------------------
+    def register_join_validator(self, gid: Address,
+                                validator: Callable) -> None:
+        """pg_join_verify: user routine validating join requests (§3.10)."""
+        self._join_validators.setdefault(gid.process(), []).append(validator)
+
+    def flush_sends(self, process: IsisProcess) -> Promise:
+        """The `flush` primitive: block until our async sends are stable.
+
+        §3.2 footnote: *"flush blocks until all asynchronous broadcasts
+        have been delivered"* — we wait for transport-level acks from
+        every destination site of every message this kernel fanned out.
+        """
+        pending = [
+            p for p in self._outstanding_sends.get(
+                process.address.process(), []) if not p.done
+        ]
+        return all_of(pending, label="flush")
+
+    def note_outstanding(self, sender: Address, promise: Promise) -> None:
+        bucket = self._outstanding_sends.setdefault(sender.process(), [])
+        bucket.append(promise)
+        if len(bucket) > 64:
+            self._outstanding_sends[sender.process()] = [
+                p for p in bucket if not p.done
+            ]
+
+    # -- periodic stability rounds -------------------------------------------------
+    def _schedule_stability(self) -> None:
+        if not self.alive:
+            return
+        self._stability_timer = self.sim.call_after(
+            self.config.stability_interval, self._stability_tick)
+
+    def _stability_tick(self) -> None:
+        if not self.alive:
+            return
+        for engine in list(self.engines.values()):
+            engine.start_stability_round()
+        self._schedule_stability()

@@ -1,0 +1,193 @@
+"""Replicated symbolic-name registry (name → group address).
+
+§4.1: *"a way to map symbolic names to group addresses is provided."*
+
+Every kernel holds a replica.  Updates are serialized by the **site-view
+coordinator** (the oldest operational site): a registration is sent to
+the coordinator, which assigns it a sequence number and broadcasts it to
+every site in the site view; replicas apply updates in sequence order.
+A site joining the site view receives a snapshot; a new coordinator
+(after the old one dies) first syncs replicas to the highest sequence
+number seen anywhere, so no applied registration is ever lost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..msg.address import Address
+from ..msg.message import Message
+from ..sim.core import Simulator
+from ..sim.tasks import Promise
+
+
+class Namespace:
+    """One kernel's replica (plus coordinator duties when elected)."""
+
+    def __init__(self, sim: Simulator, site_id: int,
+                 send: Callable[[int, Message], None]):
+        self.sim = sim
+        self.site_id = site_id
+        self.send = send
+        self._names: Dict[str, Address] = {}
+        self._contacts: Dict[str, int] = {}
+        self._applied_seq = 0
+        self._pending: Dict[int, Message] = {}       # out-of-order updates
+        self._waiting_reg: Dict[Tuple[str, str], List[Promise]] = {}
+        self._queries: Dict[int, Promise] = {}
+        self._next_query = 1
+        # Coordinator-only state.
+        self._is_coordinator = False
+        self._next_seq = 1
+        self._sites: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Replica API (used by the kernel)
+    # ------------------------------------------------------------------
+    def lookup(self, name: str) -> Optional[Address]:
+        return self._names.get(name)
+
+    def contact_hint(self, name: str) -> Optional[int]:
+        return self._contacts.get(name)
+
+    def entries(self) -> Dict[str, Address]:
+        return dict(self._names)
+
+    def register(self, name: str, gid: Address, contact: int,
+                 coordinator_site: int) -> Promise:
+        """Ask the coordinator to register; resolves when applied locally."""
+        promise = Promise(label=f"ns.register({name})")
+        self._waiting_reg.setdefault(("reg", name), []).append(promise)
+        request = Message(_proto="ns.reg", name=name, gid=gid, contact=contact)
+        if coordinator_site == self.site_id:
+            self.handle(self.site_id, request)
+        else:
+            self.send(coordinator_site, request)
+        return promise
+
+    def unregister(self, name: str, coordinator_site: int) -> None:
+        request = Message(_proto="ns.unreg", name=name)
+        if coordinator_site == self.site_id:
+            self.handle(self.site_id, request)
+        else:
+            self.send(coordinator_site, request)
+
+    def query(self, name: str, coordinator_site: int) -> Promise:
+        """Ask the coordinator directly (cache miss)."""
+        local = self._names.get(name)
+        promise = Promise(label=f"ns.query({name})")
+        if local is not None:
+            promise.resolve(local)
+            return promise
+        if coordinator_site == self.site_id:
+            promise.resolve(None)
+            return promise
+        query_id = self._next_query
+        self._next_query += 1
+        self._queries[query_id] = promise
+        self.send(coordinator_site, Message(_proto="ns.q", name=name, q=query_id))
+        return promise
+
+    # ------------------------------------------------------------------
+    # Coordinator election / site-view changes
+    # ------------------------------------------------------------------
+    def set_role(self, is_coordinator: bool, sites: List[int]) -> None:
+        """Called on every site-view change."""
+        became = is_coordinator and not self._is_coordinator
+        self._is_coordinator = is_coordinator
+        self._sites = list(sites)
+        if became:
+            # Adopt the highest sequence we know of; replicas that are
+            # ahead of us will re-learn nothing (updates are idempotent),
+            # replicas behind us catch up from our snapshot.
+            self._next_seq = self._applied_seq + 1
+            self._broadcast_snapshot(self._sites)
+
+    def snapshot_to(self, sites: List[int]) -> None:
+        if self._is_coordinator:
+            self._broadcast_snapshot(sites)
+
+    def _broadcast_snapshot(self, sites: List[int]) -> None:
+        snap = Message(
+            _proto="ns.snap",
+            seq=self._applied_seq,
+            entries=[[n, a, self._contacts.get(n, a.site)]
+                     for n, a in sorted(self._names.items())],
+        )
+        for site in sites:
+            if site != self.site_id:
+                self.send(site, snap)
+
+    # ------------------------------------------------------------------
+    # Wire protocol
+    # ------------------------------------------------------------------
+    def handle(self, src_site: int, msg: Message) -> None:
+        proto = msg["_proto"]
+        if proto == "ns.reg" and self._is_coordinator:
+            update = Message(
+                _proto="ns.upd", seq=self._next_seq, op="reg",
+                name=msg["name"], gid=msg["gid"], contact=msg["contact"],
+            )
+            self._next_seq += 1
+            self._fan_out(update)
+        elif proto == "ns.unreg" and self._is_coordinator:
+            update = Message(_proto="ns.upd", seq=self._next_seq, op="unreg",
+                             name=msg["name"])
+            self._next_seq += 1
+            self._fan_out(update)
+        elif proto == "ns.upd":
+            self._offer_update(msg)
+        elif proto == "ns.snap":
+            self._apply_snapshot(msg)
+        elif proto == "ns.q":
+            self.send(src_site, Message(
+                _proto="ns.qr", q=msg["q"],
+                gid=self._names.get(msg["name"]),
+            ))
+        elif proto == "ns.qr":
+            promise = self._queries.pop(msg["q"], None)
+            if promise is not None:
+                promise.resolve(msg.get("gid"))
+
+    def _fan_out(self, update: Message) -> None:
+        for site in self._sites:
+            if site != self.site_id:
+                self.send(site, update)
+        self._offer_update(update)
+
+    def _offer_update(self, update: Message) -> None:
+        seq = update["seq"]
+        if seq <= self._applied_seq:
+            return
+        self._pending[seq] = update
+        while self._applied_seq + 1 in self._pending:
+            self._apply(self._pending.pop(self._applied_seq + 1))
+
+    def _apply(self, update: Message) -> None:
+        self._applied_seq = update["seq"]
+        name = update["name"]
+        if update["op"] == "reg":
+            self._names[name] = update["gid"]
+            self._contacts[name] = update["contact"]
+        else:
+            self._names.pop(name, None)
+            self._contacts.pop(name, None)
+        for promise in self._waiting_reg.pop(("reg", name), []):
+            promise.resolve(self._names.get(name))
+
+    def _apply_snapshot(self, snap: Message) -> None:
+        if snap["seq"] < self._applied_seq:
+            return
+        self._names = {}
+        self._contacts = {}
+        for name, gid, contact in ((e[0], e[1], e[2]) for e in snap["entries"]):
+            self._names[name] = gid
+            self._contacts[name] = contact
+        self._applied_seq = max(self._applied_seq, snap["seq"])
+        self._pending = {s: u for s, u in self._pending.items()
+                         if s > self._applied_seq}
+        for (kind, name), promises in list(self._waiting_reg.items()):
+            if name in self._names:
+                for promise in promises:
+                    promise.resolve(self._names[name])
+                del self._waiting_reg[(kind, name)]

@@ -1,0 +1,171 @@
+"""Group RPC reply collection.
+
+§3.2: the caller indicates how many responses are desired (0, 1, k, or
+ALL).  Replies travel as (logical) CBCASTs back to the caller.  A *null
+reply* says "I will not answer" — standbys use it so clients need not
+know they exist.  While collecting, *"the system waits until it has the
+number desired, or until all the remaining destinations have failed"* —
+failures are fed in from view changes, so a caller never hangs on a dead
+member; if the count becomes unreachable the caller gets an error code
+(:class:`~repro.errors.BroadcastFailed`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from ..errors import BroadcastFailed
+from ..msg.address import Address
+from ..msg.message import Message
+from ..sim.core import Simulator
+from ..sim.tasks import Promise
+
+#: Sentinel for "wait for every (non-null) group member".
+ALL = -1
+
+
+class Session:
+    """One outstanding group RPC at the caller's kernel."""
+
+    def __init__(self, session_id: int, caller: Address, nwant: int):
+        self.id = session_id
+        self.caller = caller
+        self.nwant = nwant
+        self.promise = Promise(label=f"rpc.session{session_id}")
+        self.replies: List[Message] = []
+        self.responded: Set[Address] = set()   # normal or null
+        self.nulls: Set[Address] = set()
+        self.failed: Set[Address] = set()
+        #: Delivery-view members expected to answer (None until known).
+        self.expected: Optional[Set[Address]] = None
+        self.dispatched = False
+        #: Site that disseminated the multicast on our behalf.  If it dies
+        #: while we wait, the message may have vanished atomically (it was
+        #: delivered in the view it was sent in, or nowhere) — the caller
+        #: gets an error code and reissues (§5).
+        self.via_site: Optional[int] = None
+
+    # -- events ----------------------------------------------------------
+    def set_expected(self, members: List[Address],
+                     via_site: Optional[int] = None) -> None:
+        if self.expected is None:
+            self.expected = {m.process() for m in members}
+        if via_site is not None:
+            self.via_site = via_site
+        self.dispatched = True
+
+    def offer_reply(self, responder: Address, reply: Message,
+                    null: bool) -> None:
+        key = responder.process()
+        if key in self.responded:
+            return  # duplicate replies are discarded silently (§3.2)
+        self.responded.add(key)
+        if null:
+            self.nulls.add(key)
+        else:
+            self.replies.append(reply)
+
+    def note_failed(self, member: Address) -> None:
+        self.failed.add(member.process())
+
+    # -- resolution ---------------------------------------------------------
+    def check(self) -> Optional[str]:
+        """Returns "done", "failed", or None (keep waiting)."""
+        if self.promise.done:
+            return None
+        wanted = self.nwant
+        if wanted == 0:
+            return "done" if self.dispatched else None
+        if wanted != ALL and len(self.replies) >= wanted:
+            return "done"
+        if self.expected is None:
+            return None
+        outstanding = self.expected - self.responded - self.failed
+        if wanted == ALL:
+            return "done" if not outstanding else None
+        possible = len(self.replies) + len(outstanding)
+        if possible < wanted:
+            return "failed"
+        return None
+
+
+class SessionTable:
+    """All outstanding sessions at one kernel."""
+
+    def __init__(self, sim: Simulator, resolve_delay: float = 0.0):
+        self.sim = sim
+        #: Intra-site hop charged when handing results back to the caller.
+        self.resolve_delay = resolve_delay
+        self._sessions: Dict[int, Session] = {}
+        self._next_id = 1
+
+    def create(self, caller: Address, nwant: int) -> Session:
+        session = Session(self._next_id, caller, nwant)
+        self._next_id += 1
+        self._sessions[session.id] = session
+        return session
+
+    def get(self, session_id: int) -> Optional[Session]:
+        return self._sessions.get(session_id)
+
+    # -- event entry points ------------------------------------------------
+    def on_dispatched(self, session_id: int, members: List[Address],
+                      via_site: Optional[int] = None) -> None:
+        session = self._sessions.get(session_id)
+        if session is not None:
+            session.set_expected(members, via_site)
+            self._settle(session)
+
+    def on_reply(self, session_id: int, responder: Address,
+                 reply: Message, null: bool) -> None:
+        session = self._sessions.get(session_id)
+        if session is not None:
+            session.offer_reply(responder, reply, null)
+            self._settle(session)
+
+    def note_members_failed(self, members: List[Address]) -> None:
+        """Feed view-change removals into every open session."""
+        keys = {m.process() for m in members}
+        for session in list(self._sessions.values()):
+            if session.expected is None:
+                continue
+            hit = keys & session.expected
+            if not hit:
+                continue
+            for member in hit:
+                session.note_failed(member)
+            self._settle(session)
+
+    def note_session_failed(self, session_id: int, error: Exception) -> None:
+        session = self._sessions.pop(session_id, None)
+        if session is not None and not session.promise.done:
+            session.promise.reject(error)
+
+    # -- internal ---------------------------------------------------------------
+    def _settle(self, session: Session) -> None:
+        verdict = session.check()
+        if verdict is None:
+            return
+        self._sessions.pop(session.id, None)
+        if verdict == "done":
+            replies = list(session.replies)
+            if self.resolve_delay > 0:
+                self.sim.call_after(
+                    self.resolve_delay, session.promise.resolve, replies)
+            else:
+                session.promise.resolve(replies)
+        else:
+            error = BroadcastFailed(
+                f"session {session.id}: all remaining destinations failed "
+                f"({len(session.replies)}/{session.nwant} replies)",
+                replies=session.replies,
+            )
+            if self.resolve_delay > 0:
+                self.sim.call_after(
+                    self.resolve_delay, session.promise.reject, error)
+            else:
+                session.promise.reject(error)
+
+    @property
+    def open_count(self) -> int:
+        return len(self._sessions)

@@ -1,0 +1,116 @@
+"""Per-group message store: buffering, dedupe, have-vectors, stability.
+
+Every group data message is tagged ``(view_id, origin_site, gseq)`` where
+``gseq`` is a per-(group, view, origin-site) counter.  Each member kernel:
+
+* records its *own* sends immediately (so the flush union always contains
+  every message that any survivor could ever receive);
+* records receptions, deduplicating by tag;
+* discards messages from views older than its current one (a message is
+  delivered in the view it was sent in, or nowhere — the atomicity part
+  of view synchrony);
+* retains everything until told it is *stable* (received at every member
+  site), because an unstable message may have to be re-sent to a peer
+  during a flush.
+
+The *have-vector* summarises reception per origin site as the maximum
+contiguous gseq, which is all a flush coordinator needs to compute the
+union cut.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..msg.message import Message
+
+Tag = Tuple[int, int]  # (origin_site, gseq) within the current view
+
+
+class MessageStore:
+    """Buffered group messages for one group at one member kernel."""
+
+    def __init__(self) -> None:
+        self._messages: Dict[Tag, Message] = {}
+        #: Per origin site: highest contiguous gseq seen (gseq starts at 1).
+        self._contiguous: Dict[int, int] = {}
+        #: Out-of-order receptions (gaps possible during flush refill).
+        self._gapped: Dict[int, Dict[int, Message]] = {}
+
+    # -- recording ---------------------------------------------------------
+    def record(self, origin_site: int, gseq: int, msg: Message) -> bool:
+        """Store a message; returns True if it was new."""
+        tag = (origin_site, gseq)
+        if tag in self._messages:
+            return False
+        self._messages[tag] = msg
+        top = self._contiguous.get(origin_site, 0)
+        if gseq == top + 1:
+            top = gseq
+            pending = self._gapped.get(origin_site, {})
+            while top + 1 in pending:
+                top += 1
+                del pending[top]
+            self._contiguous[origin_site] = top
+        else:
+            self._gapped.setdefault(origin_site, {})[gseq] = msg
+        return True
+
+    def has(self, origin_site: int, gseq: int) -> bool:
+        return (origin_site, gseq) in self._messages
+
+    def get(self, origin_site: int, gseq: int) -> Optional[Message]:
+        return self._messages.get((origin_site, gseq))
+
+    # -- have-vectors -----------------------------------------------------------
+    def have_vector(self) -> Dict[int, int]:
+        """Per origin site: highest contiguous gseq received."""
+        return dict(self._contiguous)
+
+    def all_tags(self) -> List[Tag]:
+        return sorted(self._messages)
+
+    def missing_from(self, union: Dict[int, int]) -> List[Tag]:
+        """Tags in ``union`` (per-site maxima) that we do not hold."""
+        missing = []
+        for origin_site, top in union.items():
+            for gseq in range(1, top + 1):
+                if (origin_site, gseq) not in self._messages:
+                    missing.append((origin_site, gseq))
+        return missing
+
+    @staticmethod
+    def union(have_vectors: Iterable[Dict[int, int]]) -> Dict[int, int]:
+        """Pointwise maximum over several have-vectors."""
+        out: Dict[int, int] = {}
+        for have in have_vectors:
+            for origin_site, top in have.items():
+                if top > out.get(origin_site, 0):
+                    out[origin_site] = top
+        return out
+
+    def complete_for(self, union: Dict[int, int]) -> bool:
+        """Do we hold every message up to the union cut?"""
+        return not self.missing_from(union)
+
+    # -- stability / lifecycle -----------------------------------------------------
+    def trim_stable(self, stable: Dict[int, int]) -> int:
+        """Drop messages known received everywhere; returns count dropped."""
+        victims = [
+            (origin_site, gseq)
+            for (origin_site, gseq) in self._messages
+            if gseq <= stable.get(origin_site, 0)
+        ]
+        for tag in victims:
+            del self._messages[tag]
+        return len(victims)
+
+    def reset(self) -> None:
+        """New view installed: all old-view messages are settled."""
+        self._messages.clear()
+        self._contiguous.clear()
+        self._gapped.clear()
+
+    @property
+    def buffered_count(self) -> int:
+        return len(self._messages)

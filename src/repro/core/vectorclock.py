@@ -1,0 +1,134 @@
+"""Vector timestamps for causal (CBCAST) delivery.
+
+The paper's CBCAST implementation piggybacked buffered messages
+([Birman-a]); we track *potential causality* (§3.1, after [Lamport-b])
+with vector clocks instead — the delivery **semantics** are identical
+(see DESIGN.md, substitutions table).
+
+Per group, each kernel keeps the vector of CBCAST sequence numbers it has
+delivered, indexed by sending member.  A CBCAST carries
+
+* its own per-sender sequence number within the group, and
+* the sender's *causal context*: a map ``group → delivered-vector``
+  snapshot taken at send time (covering every group the sender belongs
+  to, so causality created by multi-group chains is honoured for common
+  members).
+
+Delivery rule for message ``m`` from sender ``p`` in group ``g``:
+
+1. FIFO: ``m.seq == delivered_g[p] + 1``;
+2. Causality: for every group ``h`` in ``m.ctx`` that we belong to, our
+   delivered vector in ``h`` dominates ``m.ctx[h]`` (restricted to
+   current members — departed members' messages were flushed before the
+   view we are in).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from ..msg.address import Address
+
+
+class VectorClock:
+    """Mutable map Address → int with lattice operations."""
+
+    __slots__ = ("_clock",)
+
+    def __init__(self, initial: Optional[Mapping[Address, int]] = None):
+        self._clock: Dict[Address, int] = dict(initial or {})
+
+    def get(self, member: Address) -> int:
+        return self._clock.get(member.process(), 0)
+
+    def set(self, member: Address, value: int) -> None:
+        self._clock[member.process()] = value
+
+    def increment(self, member: Address) -> int:
+        """Bump and return the member's counter."""
+        key = member.process()
+        self._clock[key] = self._clock.get(key, 0) + 1
+        return self._clock[key]
+
+    def merge(self, other: "VectorClock") -> None:
+        """Pointwise maximum (join)."""
+        for member, value in other._clock.items():
+            if value > self._clock.get(member, 0):
+                self._clock[member] = value
+
+    def dominates(self, other: "VectorClock",
+                  restrict_to: Optional[Iterable[Address]] = None) -> bool:
+        """self >= other pointwise (optionally over a member subset)."""
+        if restrict_to is None:
+            items = other._clock.items()
+        else:
+            keys = {m.process() for m in restrict_to}
+            items = [(k, v) for k, v in other._clock.items() if k in keys]
+        return all(self._clock.get(member, 0) >= value for member, value in items)
+
+    def restrict(self, members: Iterable[Address]) -> "VectorClock":
+        """Copy containing only the given members' entries."""
+        keys = {m.process() for m in members}
+        return VectorClock(
+            {m: v for m, v in self._clock.items() if m in keys}
+        )
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._clock)
+
+    def drop(self, member: Address) -> None:
+        self._clock.pop(member.process(), None)
+
+    # -- wire form --------------------------------------------------------
+    def to_value(self) -> Dict[str, int]:
+        """Message-embeddable form (addresses hex-packed as dict keys)."""
+        return {m.pack().hex(): v for m, v in self._clock.items()}
+
+    @classmethod
+    def from_value(cls, value: Mapping[str, int]) -> "VectorClock":
+        return cls({
+            Address.unpack(bytes.fromhex(key)): v for key, v in value.items()
+        })
+
+    def items(self):
+        return self._clock.items()
+
+    def __len__(self) -> int:
+        return len(self._clock)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        keys = set(self._clock) | set(other._clock)
+        return all(
+            self._clock.get(k, 0) == other._clock.get(k, 0) for k in keys
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{m}:{v}" for m, v in sorted(
+            self._clock.items(), key=lambda kv: str(kv[0])))
+        return f"VC({parts})"
+
+
+def encode_context(
+    context: Mapping[Address, "tuple[int, VectorClock]"],
+) -> Dict[str, Dict]:
+    """Encode a causal context (gid → (view_id, VectorClock)) for a message.
+
+    Delivered vectors reset at every view change (the flush has already
+    delivered everything older), so a context entry is only comparable
+    against the *same* view: the view id rides along.
+    """
+    return {
+        gid.pack().hex(): {"v": view_id, "vc": vc.to_value()}
+        for gid, (view_id, vc) in context.items()
+    }
+
+
+def decode_context(value: Mapping[str, Mapping]) -> Dict[Address, "tuple[int, VectorClock]"]:
+    return {
+        Address.unpack(bytes.fromhex(key)): (
+            entry["v"], VectorClock.from_value(entry["vc"])
+        )
+        for key, entry in value.items()
+    }

@@ -1,0 +1,12 @@
+"""Failure detection: adaptive heartbeats and agreed site views."""
+
+from .heartbeat import HeartbeatConfig, HeartbeatMonitor
+from .siteview import SiteView, SiteViewAgent, SiteViewConfig
+
+__all__ = [
+    "HeartbeatConfig",
+    "HeartbeatMonitor",
+    "SiteView",
+    "SiteViewAgent",
+    "SiteViewConfig",
+]

@@ -1,0 +1,132 @@
+"""Adaptive heartbeat failure detector.
+
+§2.1: a site failure *"can only be detected by another site by means of a
+timeout"*, and §3.7: *"The ISIS failure detector adaptively adjusts the
+timeout interval to avoid treating an overloaded site as having failed."*
+
+Each site's kernel broadcasts an unreliable heartbeat datagram every
+``interval`` seconds and tracks, per monitored peer, a Jacobson-style
+estimate of the inter-arrival mean and deviation.  A peer is *suspected*
+when nothing has arrived for ``mean + nstddev·dev + interval`` seconds
+(clamped between a floor and a ceiling).  Because heartbeats queue behind
+real work on the sender's CPU, an overloaded site naturally stretches the
+observed interval — and the timeout stretches with it, which is exactly
+the adaptivity the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Set
+
+from ..sim.core import Simulator, Timer
+
+
+@dataclass
+class HeartbeatConfig:
+    interval: float = 0.5       # seconds between probes
+    min_timeout: float = 1.5    # never suspect faster than this
+    max_timeout: float = 15.0   # never wait longer than this
+    nstddev: float = 4.0        # deviation multiplier (Jacobson)
+
+
+class _PeerStats:
+    """Inter-arrival estimator for one monitored peer."""
+
+    __slots__ = ("last_arrival", "mean", "dev")
+
+    def __init__(self, now: float, interval: float):
+        self.last_arrival = now
+        self.mean = interval
+        self.dev = 0.0
+
+    def note_arrival(self, now: float) -> None:
+        sample = now - self.last_arrival
+        self.last_arrival = now
+        error = sample - self.mean
+        self.mean += 0.125 * error
+        self.dev += 0.25 * (abs(error) - self.dev)
+
+    def timeout(self, config: HeartbeatConfig) -> float:
+        raw = self.mean + config.nstddev * self.dev + config.interval
+        return min(config.max_timeout, max(config.min_timeout, raw))
+
+
+class HeartbeatMonitor:
+    """Sends probes to peers and raises suspicions on silence."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        site_id: int,
+        send_probe: Callable[[int], None],
+        on_suspect: Callable[[int], None],
+        config: Optional[HeartbeatConfig] = None,
+    ):
+        self.sim = sim
+        self.site_id = site_id
+        self.send_probe = send_probe
+        self.on_suspect = on_suspect
+        self.config = config or HeartbeatConfig()
+        self._peers: Dict[int, _PeerStats] = {}
+        self._suspected: Set[int] = set()
+        self._timer: Optional[Timer] = None
+        self._running = False
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._tick()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # -- peer set ----------------------------------------------------------
+    def set_peers(self, peers: Iterable[int]) -> None:
+        """Monitor exactly ``peers`` (self is excluded automatically).
+
+        Newly added peers start with a fresh estimator; a re-added peer
+        loses its 'suspected' status (it re-joined the view).
+        """
+        wanted = {p for p in peers if p != self.site_id}
+        for gone in [p for p in self._peers if p not in wanted]:
+            del self._peers[gone]
+        self._suspected &= wanted
+        now = self.sim.now
+        for added in wanted - self._peers.keys():
+            self._peers[added] = _PeerStats(now, self.config.interval)
+            self._suspected.discard(added)
+
+    @property
+    def suspected(self) -> Set[int]:
+        return set(self._suspected)
+
+    # -- events ----------------------------------------------------------------
+    def note_heartbeat(self, src_site: int) -> None:
+        """Feed an arrival (called by the kernel on a heartbeat datagram)."""
+        stats = self._peers.get(src_site)
+        if stats is not None:
+            stats.note_arrival(self.sim.now)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        for peer in list(self._peers):
+            self.send_probe(peer)
+        now = self.sim.now
+        # Snapshot: a suspicion callback can synchronously install a new
+        # site view, which calls set_peers() and mutates the dict.
+        for peer, stats in list(self._peers.items()):
+            if peer in self._suspected or peer not in self._peers:
+                continue
+            if now - stats.last_arrival > stats.timeout(self.config):
+                self._suspected.add(peer)
+                self.sim.trace.bump("fd.suspicions")
+                self.sim.trace.log("fd.suspect", (self.site_id, peer))
+                self.on_suspect(peer)
+        self._timer = self.sim.call_after(self.config.interval, self._tick)

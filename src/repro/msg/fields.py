@@ -1,0 +1,166 @@
+"""Typed field values and their binary wire encoding.
+
+§4.1: *"a message is represented as a symbol table containing multiple
+fields, each having a name, type, and variable length data ... A field can
+even contain another message."*
+
+Supported field types and their wire tags:
+
+====== ============ =====================================================
+tag     python       payload encoding (big-endian)
+====== ============ =====================================================
+0       None         (empty)
+1       bool         1 byte
+2       int          8-byte signed
+3       float        8-byte IEEE double
+4       str          u32 length + UTF-8 bytes
+5       bytes        u32 length + raw bytes
+6       Address      8 packed bytes
+7       Message      u32 length + encoded message (recursive)
+8       list/tuple   u32 count + encoded values (recursive)
+9       dict         u32 count + (u16 keylen + key utf8 + value) pairs
+====== ============ =====================================================
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Tuple
+
+from ..errors import CodecError
+from .address import ADDRESS_SIZE, Address
+
+T_NONE = 0
+T_BOOL = 1
+T_INT = 2
+T_FLOAT = 3
+T_STR = 4
+T_BYTES = 5
+T_ADDR = 6
+T_MSG = 7
+T_LIST = 8
+T_DICT = 9
+
+_U32 = struct.Struct(">I")
+_U16 = struct.Struct(">H")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode one field value, including its leading type tag."""
+    # Imported here to avoid a cycle: Message encodes via fields.
+    from .message import Message
+
+    if value is None:
+        return bytes([T_NONE])
+    if isinstance(value, bool):  # must precede int: bool is an int subtype
+        return bytes([T_BOOL, 1 if value else 0])
+    if isinstance(value, int):
+        try:
+            return bytes([T_INT]) + _I64.pack(value)
+        except struct.error as err:
+            raise CodecError(f"integer {value} exceeds 64 bits") from err
+    if isinstance(value, float):
+        return bytes([T_FLOAT]) + _F64.pack(value)
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return bytes([T_STR]) + _U32.pack(len(raw)) + raw
+    if isinstance(value, (bytes, bytearray)):
+        raw = bytes(value)
+        return bytes([T_BYTES]) + _U32.pack(len(raw)) + raw
+    if isinstance(value, Address):
+        return bytes([T_ADDR]) + value.pack()
+    if isinstance(value, Message):
+        raw = value.encode()
+        return bytes([T_MSG]) + _U32.pack(len(raw)) + raw
+    if isinstance(value, (list, tuple)):
+        parts = [bytes([T_LIST]), _U32.pack(len(value))]
+        parts.extend(encode_value(item) for item in value)
+        return b"".join(parts)
+    if isinstance(value, dict):
+        parts = [bytes([T_DICT]), _U32.pack(len(value))]
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise CodecError(f"dict keys must be str, got {key!r}")
+            raw_key = key.encode("utf-8")
+            if len(raw_key) > 0xFFFF:
+                raise CodecError(f"dict key too long: {key[:32]!r}...")
+            parts.append(_U16.pack(len(raw_key)))
+            parts.append(raw_key)
+            parts.append(encode_value(item))
+        return b"".join(parts)
+    raise CodecError(f"unencodable field value of type {type(value).__name__}")
+
+
+def decode_value(data: bytes, offset: int) -> Tuple[Any, int]:
+    """Decode one value at ``offset``; return (value, next_offset)."""
+    from .message import Message
+
+    if offset >= len(data):
+        raise CodecError("truncated value: missing type tag")
+    tag = data[offset]
+    offset += 1
+    if tag == T_NONE:
+        return None, offset
+    if tag == T_BOOL:
+        _need(data, offset, 1)
+        return data[offset] != 0, offset + 1
+    if tag == T_INT:
+        _need(data, offset, 8)
+        return _I64.unpack_from(data, offset)[0], offset + 8
+    if tag == T_FLOAT:
+        _need(data, offset, 8)
+        return _F64.unpack_from(data, offset)[0], offset + 8
+    if tag == T_STR:
+        raw, offset = _read_block(data, offset)
+        return raw.decode("utf-8"), offset
+    if tag == T_BYTES:
+        return _read_block(data, offset)
+    if tag == T_ADDR:
+        _need(data, offset, ADDRESS_SIZE)
+        addr = Address.unpack(data[offset:offset + ADDRESS_SIZE])
+        return addr, offset + ADDRESS_SIZE
+    if tag == T_MSG:
+        raw, offset = _read_block(data, offset)
+        return Message.decode(raw), offset
+    if tag == T_LIST:
+        _need(data, offset, 4)
+        count = _U32.unpack_from(data, offset)[0]
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = decode_value(data, offset)
+            items.append(item)
+        return items, offset
+    if tag == T_DICT:
+        _need(data, offset, 4)
+        count = _U32.unpack_from(data, offset)[0]
+        offset += 4
+        out = {}
+        for _ in range(count):
+            _need(data, offset, 2)
+            key_len = _U16.unpack_from(data, offset)[0]
+            offset += 2
+            _need(data, offset, key_len)
+            key = data[offset:offset + key_len].decode("utf-8")
+            offset += key_len
+            out[key], offset = decode_value(data, offset)
+        return out, offset
+    raise CodecError(f"unknown field type tag {tag}")
+
+
+def _need(data: bytes, offset: int, count: int) -> None:
+    if offset + count > len(data):
+        raise CodecError(
+            f"truncated value: need {count} bytes at offset {offset}, "
+            f"have {len(data) - offset}"
+        )
+
+
+def _read_block(data: bytes, offset: int) -> Tuple[bytes, int]:
+    _need(data, offset, 4)
+    length = _U32.unpack_from(data, offset)[0]
+    offset += 4
+    _need(data, offset, length)
+    return data[offset:offset + length], offset + length

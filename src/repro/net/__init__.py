@@ -1,0 +1,20 @@
+"""Network substrate: LAN model, fragmentation, reliable transport, bulk."""
+
+from .bulk import BulkChannel, BulkConfig
+from .lan import Lan, LanConfig
+from .packet import FRAME_HEADER_BYTES, KIND_ACK, KIND_DATA, Frame, Reassembler, fragment
+from .transport import Transport
+
+__all__ = [
+    "BulkChannel",
+    "BulkConfig",
+    "Lan",
+    "LanConfig",
+    "Frame",
+    "Reassembler",
+    "fragment",
+    "FRAME_HEADER_BYTES",
+    "KIND_DATA",
+    "KIND_ACK",
+    "Transport",
+]

@@ -1,0 +1,118 @@
+"""Wire frames and message fragmentation.
+
+§7 of the paper explains the Figure 2 latency knee: *"large inter-site
+messages are fragmented into 4kbyte packets"*.  We reproduce that: a
+message whose encoding exceeds the MTU is split into fragments, each of
+which travels as one LAN packet and is reassembled at the receiving site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import NetworkError
+
+KIND_DATA = "data"
+KIND_ACK = "ack"
+KIND_RAW = "raw"  # unreliable datagram (heartbeats): no seq, no retransmit
+
+#: Bytes of header we charge per frame on the wire (addresses, seq, frag
+#: info, checksums — a stand-in for the UDP/IP framing of the original).
+FRAME_HEADER_BYTES = 40
+
+
+@dataclass
+class Frame:
+    """One LAN packet: either a data fragment or an acknowledgement."""
+
+    kind: str
+    src_site: int
+    dst_site: int
+    epoch: int = 0           # sender incarnation; stale epochs are ignored
+    seq: int = 0             # per-channel sequence number (data frames)
+    ack: int = -1            # cumulative ack (ack frames)
+    msg_id: int = 0          # message this fragment belongs to
+    frag_index: int = 0
+    frag_total: int = 1
+    payload: bytes = b""
+    #: Copy riding a hardware-broadcast transmission already charged to
+    #: the sender (the [Babaoglu] optimization): token send cost only.
+    cheap: bool = False
+
+    @property
+    def wire_size(self) -> int:
+        """Size charged on the LAN, header included."""
+        return FRAME_HEADER_BYTES + len(self.payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind == KIND_ACK:
+            return f"<ACK {self.src_site}->{self.dst_site} ack={self.ack}>"
+        return (
+            f"<DATA {self.src_site}->{self.dst_site} seq={self.seq} "
+            f"msg={self.msg_id} frag={self.frag_index + 1}/{self.frag_total} "
+            f"{len(self.payload)}B>"
+        )
+
+
+def fragment(data: bytes, mtu: int) -> List[bytes]:
+    """Split ``data`` into MTU-sized chunks (at least one, even if empty)."""
+    if mtu <= 0:
+        raise NetworkError(f"mtu must be positive, got {mtu}")
+    if not data:
+        return [b""]
+    return [data[i:i + mtu] for i in range(0, len(data), mtu)]
+
+
+@dataclass
+class _PartialMessage:
+    total: int
+    parts: Dict[int, bytes] = field(default_factory=dict)
+
+    def add(self, index: int, payload: bytes) -> Optional[bytes]:
+        """Store one fragment; return the whole message when complete."""
+        if index < 0 or index >= self.total:
+            raise NetworkError(f"fragment index {index} out of range 0..{self.total - 1}")
+        self.parts.setdefault(index, payload)
+        if len(self.parts) < self.total:
+            return None
+        return b"".join(self.parts[i] for i in range(self.total))
+
+
+class Reassembler:
+    """Rebuilds messages from (possibly re-ordered) fragments.
+
+    Keyed by ``(channel_key, msg_id)`` so concurrent messages from many
+    senders interleave safely.  Duplicate fragments are ignored.
+    """
+
+    def __init__(self) -> None:
+        self._partials: Dict[Tuple, _PartialMessage] = {}
+
+    def add(self, key: Tuple, frag_index: int, frag_total: int,
+            payload: bytes) -> Optional[bytes]:
+        """Feed one fragment; return the full message once assembled."""
+        if frag_total <= 0:
+            raise NetworkError(f"frag_total must be positive, got {frag_total}")
+        partial = self._partials.get(key)
+        if partial is None:
+            partial = _PartialMessage(total=frag_total)
+            self._partials[key] = partial
+        elif partial.total != frag_total:
+            raise NetworkError(
+                f"inconsistent frag_total for {key}: {partial.total} vs {frag_total}"
+            )
+        whole = partial.add(frag_index, payload)
+        if whole is not None:
+            del self._partials[key]
+        return whole
+
+    def pending(self) -> int:
+        """Number of messages awaiting fragments (tests/diagnostics)."""
+        return len(self._partials)
+
+    def forget(self, key_prefix: Tuple) -> None:
+        """Drop partial state for a channel (used on epoch change)."""
+        stale = [k for k in self._partials if k[:len(key_prefix)] == key_prefix]
+        for k in stale:
+            del self._partials[k]

@@ -1,0 +1,331 @@
+"""Reliable FIFO site-to-site transport.
+
+The multicast protocols of [Birman-a] assume that sites communicate over
+channels that deliver messages reliably and in FIFO order despite packet
+loss (§2.1: "Our system tolerates message loss").  This module provides
+that substrate: a sliding-window, cumulative-ack, retransmit-on-timeout
+protocol over the lossy :class:`~repro.net.lan.Lan`, with fragmentation
+of messages larger than the 4 KB MTU.
+
+Each frame charges CPU on the sending and receiving sites, which is how
+the Figure 2 utilization and throughput numbers arise.
+
+Epochs: a restarting site gets a new incarnation number; frames from a
+previous incarnation are discarded, and receiver-side channel state is
+reset when a higher epoch is seen, so a recovered site starts clean.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..errors import SiteDown
+from ..sim.core import Simulator, Timer
+from ..sim.cpu import Cpu
+from ..sim.tasks import Promise
+from .lan import Lan
+from .packet import KIND_ACK, KIND_DATA, KIND_RAW, Frame, Reassembler, fragment
+
+
+class _SendChannel:
+    """Sender-side state for one destination site."""
+
+    __slots__ = ("next_seq", "unacked", "backlog", "retx_timer", "msg_done",
+                 "rto", "wire_times")
+
+    def __init__(self, base_rto: float) -> None:
+        self.next_seq = 0
+        self.unacked: "OrderedDict[int, Frame]" = OrderedDict()
+        self.backlog: Deque[Frame] = deque()
+        self.retx_timer: Optional[Timer] = None
+        #: msg_id -> (last_seq, promise) resolved when last frame acked.
+        self.msg_done: Dict[int, Tuple[int, Promise]] = {}
+        #: Current retransmission timeout (exponential backoff on loss,
+        #: reset on ack progress).
+        self.rto = base_rto
+        #: seq -> time the frame actually reached the wire.  A frame
+        #: still queued behind the CPU must never be "retransmitted".
+        self.wire_times: Dict[int, float] = {}
+
+
+class _RecvChannel:
+    """Receiver-side state for one (source site, epoch)."""
+
+    __slots__ = ("epoch", "expected", "out_of_order")
+
+    def __init__(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.expected = 0
+        self.out_of_order: Dict[int, Frame] = {}
+
+
+class Transport:
+    """One site's attachment to the LAN: reliable ordered byte messages.
+
+    Parameters
+    ----------
+    on_message:
+        ``on_message(src_site, data)`` invoked, in FIFO-per-source order,
+        once a complete message has been reassembled and its receive CPU
+        cost paid.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        lan: Lan,
+        site_id: int,
+        epoch: int,
+        cpu: Cpu,
+        on_message: Callable[[int, bytes], None],
+    ):
+        self.sim = sim
+        self.lan = lan
+        self.site_id = site_id
+        self.epoch = epoch
+        self.cpu = cpu
+        self.on_message = on_message
+        self._send_channels: Dict[int, _SendChannel] = {}
+        self._recv_channels: Dict[int, _RecvChannel] = {}
+        self._reassembler = Reassembler()
+        self._next_msg_id = 0
+        self._alive = True
+        #: Optional handler for unreliable datagrams (heartbeats).
+        self.on_raw: Optional[Callable[[int, bytes], None]] = None
+        lan.attach(site_id, self._on_frame)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, dst_site: int, data: bytes,
+             piggyback: bool = False) -> Promise:
+        """Queue ``data`` for reliable delivery to ``dst_site``.
+
+        Returns a promise resolved when every fragment has been
+        acknowledged (i.e. the message is stable at the destination), or
+        rejected if the channel is torn down first.
+
+        ``piggyback=True`` marks a copy that rides a hardware-broadcast
+        transmission already paid for (the [Babaoglu] optimization of
+        the paper's footnote 1): it is charged a token CPU cost instead
+        of a full per-destination send.
+        """
+        if not self._alive:
+            promise = Promise(label="send-on-dead-transport")
+            promise.reject(SiteDown(f"site {self.site_id} is down"))
+            return promise
+        channel = self._send_channels.setdefault(
+            dst_site, _SendChannel(self.lan.config.rto))
+        msg_id = self._next_msg_id
+        self._next_msg_id += 1
+        chunks = fragment(data, self.lan.config.mtu)
+        frames = []
+        for index, chunk in enumerate(chunks):
+            frames.append(
+                Frame(
+                    kind=KIND_DATA,
+                    src_site=self.site_id,
+                    dst_site=dst_site,
+                    epoch=self.epoch,
+                    seq=channel.next_seq,
+                    msg_id=msg_id,
+                    frag_index=index,
+                    frag_total=len(chunks),
+                    payload=chunk,
+                    cheap=piggyback,
+                )
+            )
+            channel.next_seq += 1
+        promise = Promise(label=f"send:{self.site_id}->{dst_site}:{msg_id}")
+        channel.msg_done[msg_id] = (frames[-1].seq, promise)
+        self.sim.trace.bump("transport.messages")
+        self.sim.trace.bump("transport.bytes", len(data))
+        for frame in frames:
+            if len(channel.unacked) < self.lan.config.window:
+                self._transmit(channel, frame)
+            else:
+                channel.backlog.append(frame)
+        return promise
+
+    def _transmit(self, channel: _SendChannel, frame: Frame) -> None:
+        channel.unacked[frame.seq] = frame
+        cost = (self.lan.config.ack_cpu if frame.cheap
+                else self.lan.send_cpu_cost(frame))
+        # The retransmission timer arms when the frame actually reaches
+        # the wire, not when it enters the CPU queue — otherwise a busy
+        # sender would "time out" frames it has not yet transmitted and
+        # melt down in a retransmission storm.
+        self.cpu.submit(cost, self._put_on_wire, channel, frame)
+
+    def _put_on_wire(self, channel: _SendChannel, frame: Frame) -> None:
+        if not self._alive:
+            return
+        self.lan.send(frame)
+        channel.wire_times.setdefault(frame.seq, self.sim.now)
+        self._arm_retransmit(channel, frame.dst_site)
+
+    def _arm_retransmit(self, channel: _SendChannel, dst_site: int) -> None:
+        if channel.retx_timer is not None or not channel.unacked:
+            return
+        channel.retx_timer = self.sim.call_after(
+            channel.rto, self._retransmit, dst_site
+        )
+
+    def _retransmit(self, dst_site: int) -> None:
+        """Probe with the *oldest transmitted* unacked frame only.
+
+        Frames still queued behind the CPU have not been lost — they have
+        not even been sent; retransmitting whole windows under load is
+        how congestion collapse happens.  A cumulative ack for the probe
+        confirms (or advances past) everything behind it.
+        """
+        channel = self._send_channels.get(dst_site)
+        if channel is None:
+            return
+        channel.retx_timer = None
+        if not self._alive or not channel.unacked:
+            return
+        oldest_seq = next(iter(channel.unacked))
+        sent_at = channel.wire_times.get(oldest_seq)
+        if sent_at is None:
+            # Not on the wire yet: check again after the CPU drains it.
+            self.cpu.submit(0.0, self._arm_retransmit, channel, dst_site)
+            return
+        age = self.sim.now - sent_at
+        if age < channel.rto * 0.9:
+            channel.retx_timer = self.sim.call_after(
+                channel.rto - age, self._retransmit, dst_site)
+            return
+        self.sim.trace.bump("transport.retransmits")
+        channel.rto = min(channel.rto * 2, 8 * self.lan.config.rto)
+        frame = channel.unacked[oldest_seq]
+        channel.wire_times[oldest_seq] = self.sim.now
+        self.cpu.submit(self.lan.send_cpu_cost(frame), self.lan.send, frame)
+        self._arm_retransmit(channel, dst_site)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def send_raw(self, dst_site: int, payload: bytes) -> None:
+        """Fire-and-forget datagram: no ordering, no retransmission.
+
+        Used for heartbeats, where a lost probe *should* look like
+        silence rather than be masked by the reliable channel.  Raw
+        frames bypass the CPU work queue (the failure detector runs at
+        kernel priority): §3.7 requires that an *overloaded* site not be
+        mistaken for a dead one, so its probes must not queue behind its
+        application traffic.
+        """
+        if not self._alive:
+            return
+        frame = Frame(
+            kind=KIND_RAW,
+            src_site=self.site_id,
+            dst_site=dst_site,
+            epoch=self.epoch,
+            payload=payload,
+        )
+        self.lan.send(frame)
+
+    def _on_frame(self, frame: Frame) -> None:
+        if not self._alive:
+            return
+        if frame.kind == KIND_ACK:
+            self.cpu.submit(self.lan.config.ack_cpu, self._process_ack, frame)
+        elif frame.kind == KIND_RAW:
+            self._process_raw(frame)  # kernel priority: see send_raw
+        else:
+            self.cpu.submit(self.lan.recv_cpu_cost(frame), self._process_data, frame)
+
+    def _process_raw(self, frame: Frame) -> None:
+        if self.on_raw is not None:
+            self.on_raw(frame.src_site, frame.payload)
+
+    def _process_ack(self, frame: Frame) -> None:
+        channel = self._send_channels.get(frame.src_site)
+        if channel is None:
+            return
+        progressed = any(s <= frame.ack for s in channel.unacked)
+        if progressed:
+            channel.rto = self.lan.config.rto  # backoff resets on progress
+        for seq in [s for s in channel.unacked if s <= frame.ack]:
+            del channel.unacked[seq]
+            channel.wire_times.pop(seq, None)
+        for msg_id in [
+            m for m, (last_seq, _) in channel.msg_done.items() if last_seq <= frame.ack
+        ]:
+            _, promise = channel.msg_done.pop(msg_id)
+            promise.resolve(None)
+        while channel.backlog and len(channel.unacked) < self.lan.config.window:
+            self._transmit(channel, channel.backlog.popleft())
+        if channel.retx_timer is not None and not channel.unacked:
+            channel.retx_timer.cancel()
+            channel.retx_timer = None
+
+    def _process_data(self, frame: Frame) -> None:
+        channel = self._recv_channels.get(frame.src_site)
+        if channel is None or frame.epoch > channel.epoch:
+            # New incarnation of the source: reset channel state.
+            channel = _RecvChannel(frame.epoch)
+            self._recv_channels[frame.src_site] = channel
+            self._reassembler.forget((frame.src_site,))
+        elif frame.epoch < channel.epoch:
+            self.sim.trace.bump("transport.stale_epoch")
+            return
+        if frame.seq < channel.expected:
+            self.sim.trace.bump("transport.duplicates")
+            self._send_ack(frame.src_site, channel.expected - 1)
+            return
+        channel.out_of_order.setdefault(frame.seq, frame)
+        delivered = False
+        while channel.expected in channel.out_of_order:
+            ready = channel.out_of_order.pop(channel.expected)
+            channel.expected += 1
+            delivered = True
+            whole = self._reassembler.add(
+                (frame.src_site, ready.msg_id),
+                ready.frag_index,
+                ready.frag_total,
+                ready.payload,
+            )
+            if whole is not None:
+                self.on_message(frame.src_site, whole)
+        if delivered or frame.seq >= channel.expected:
+            self._send_ack(frame.src_site, channel.expected - 1)
+
+    def _send_ack(self, dst_site: int, cumulative: int) -> None:
+        ack = Frame(
+            kind=KIND_ACK,
+            src_site=self.site_id,
+            dst_site=dst_site,
+            epoch=self.epoch,
+            ack=cumulative,
+        )
+        self.lan.send(ack)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset_channel(self, dst_site: int) -> None:
+        """Abandon traffic to a (failed) site; reject its pending sends."""
+        channel = self._send_channels.pop(dst_site, None)
+        if channel is None:
+            return
+        if channel.retx_timer is not None:
+            channel.retx_timer.cancel()
+        for _, promise in channel.msg_done.values():
+            promise.reject(SiteDown(f"site {dst_site} declared down"))
+
+    def shutdown(self) -> None:
+        """Crash: detach from the LAN, reject all pending sends."""
+        if not self._alive:
+            return
+        self._alive = False
+        self.lan.detach(self.site_id)
+        for dst_site in list(self._send_channels):
+            self.reset_channel(dst_site)
+
+    @property
+    def alive(self) -> bool:
+        return self._alive

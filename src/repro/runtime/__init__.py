@@ -1,0 +1,19 @@
+"""Runtime substrate: sites, processes, entries, filters, stable storage."""
+
+from .entries import EntryTable
+from .filters import FilterChain
+from .process import IsisProcess
+from .program import ProgramRegistry
+from .site import KERNEL_LOCAL_ID, Cluster, Site
+from .stable import StableStore
+
+__all__ = [
+    "EntryTable",
+    "FilterChain",
+    "IsisProcess",
+    "ProgramRegistry",
+    "Cluster",
+    "Site",
+    "KERNEL_LOCAL_ID",
+    "StableStore",
+]

@@ -1,0 +1,52 @@
+"""Message filters.
+
+§4.1 "Filters": *"Messages arriving in a client are passed through a
+series of filters.  A filter is a software procedure that will be given
+an opportunity to examine each arriving message. ... The last filter is
+the one that creates new tasks."*
+
+A filter receives the message and returns either the (possibly modified)
+message to pass along, or ``None`` to absorb it.  The protection tool
+(§3.10) installs a validating filter at the head of the chain.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..msg.message import Message
+
+Filter = Callable[[Message], Optional[Message]]
+
+
+class FilterChain:
+    """Ordered list of filters applied to every arriving message."""
+
+    def __init__(self) -> None:
+        self._filters: List[Filter] = []
+
+    def append(self, filter_fn: Filter) -> None:
+        """Add a filter at the tail (runs after existing filters)."""
+        self._filters.append(filter_fn)
+
+    def prepend(self, filter_fn: Filter) -> None:
+        """Add a filter at the head (runs first — protection goes here)."""
+        self._filters.insert(0, filter_fn)
+
+    def remove(self, filter_fn: Filter) -> None:
+        try:
+            self._filters.remove(filter_fn)
+        except ValueError:
+            pass
+
+    def apply(self, msg: Message) -> Optional[Message]:
+        """Run the chain; None means some filter absorbed the message."""
+        current: Optional[Message] = msg
+        for filter_fn in self._filters:
+            if current is None:
+                return None
+            current = filter_fn(current)
+        return current
+
+    def __len__(self) -> int:
+        return len(self._filters)

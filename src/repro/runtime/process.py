@@ -1,0 +1,124 @@
+"""ISIS processes: entry points, filters, lightweight tasks.
+
+A process is the unit of failure and addressing.  It hosts any number of
+lightweight tasks (§4.1), receives messages through its entry table after
+they pass the filter chain, and dies as a unit — killing a process kills
+all of its tasks (running their ``finally`` blocks) and triggers the
+death callbacks the site kernel uses for local failure detection (§2.1:
+process crashes are *"detectable by some monitoring mechanism at the site
+of the process"*).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, List, Optional, Set
+
+from ..errors import IsisError
+from ..msg.address import Address, make_process_address
+from ..msg.message import Message
+from ..sim.tasks import Task
+from .entries import EntryTable
+from .filters import FilterChain
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .site import Site
+
+
+class IsisProcess:
+    """A process hosted at a site."""
+
+    def __init__(self, site: "Site", local_id: int, name: str):
+        self.site = site
+        self.sim = site.sim
+        self.local_id = local_id
+        self.name = name
+        self.address: Address = make_process_address(
+            site.site_id, site.incarnation, local_id
+        )
+        self.entries = EntryTable()
+        self.filters = FilterChain()
+        self.alive = True
+        #: State-transfer segments: name -> (encoder() -> [bytes],
+        #: decoder([bytes])).  Tools and applications register here so a
+        #: join automatically ships their state (§3.8).
+        self.xfer_segments: dict = {}
+        self._tasks: Set[Task] = set()
+        self._death_watchers: List[Callable[["IsisProcess"], None]] = []
+
+    # -- entries & filters ------------------------------------------------
+    def bind(self, entry: int, handler: Callable) -> None:
+        """Bind ``handler(msg)`` to an entry point."""
+        self.entries.bind(entry, handler)
+
+    def add_filter(self, filter_fn) -> None:
+        self.filters.append(filter_fn)
+
+    def prepend_filter(self, filter_fn) -> None:
+        self.filters.prepend(filter_fn)
+
+    # -- tasks ---------------------------------------------------------------
+    def spawn(self, gen: Generator, name: str = "") -> Task:
+        """Run ``gen`` as a task owned by this process."""
+        if not self.alive:
+            raise IsisError(f"process {self.name} is dead")
+        task = Task(
+            self.sim,
+            gen,
+            name=name or f"{self.name}.task",
+            on_exit=self._task_exited,
+        )
+        self._tasks.add(task)
+        return task
+
+    def _task_exited(self, task: Task) -> None:
+        self._tasks.discard(task)
+
+    @property
+    def task_count(self) -> int:
+        return len(self._tasks)
+
+    # -- message delivery ---------------------------------------------------
+    def deliver(self, msg: Message) -> None:
+        """Run the filter chain, then dispatch to the bound entry.
+
+        §4.1: "When a message arrives, a new task is started up
+        corresponding to the entry point in its destination address, and
+        the message is passed to this task for processing."
+        """
+        if not self.alive:
+            self.sim.trace.bump("process.dropped.dead")
+            return
+        filtered = self.filters.apply(msg)
+        if filtered is None:
+            self.sim.trace.bump("process.dropped.filtered")
+            return
+        handler = self.entries.lookup(filtered.entry)
+        if handler is None:
+            self.sim.trace.bump("process.dropped.nohandler")
+            return
+        self.sim.trace.bump("process.delivered")
+        if EntryTable.spawns_task(handler):
+            self.spawn(handler(filtered), name=f"{self.name}.entry{filtered.entry}")
+        else:
+            handler(filtered)
+
+    # -- lifecycle --------------------------------------------------------------
+    def watch_death(self, callback: Callable[["IsisProcess"], None]) -> None:
+        """Call ``callback(process)`` when this process dies."""
+        self._death_watchers.append(callback)
+
+    def kill(self) -> None:
+        """Terminate the process and all of its tasks."""
+        if not self.alive:
+            return
+        self.alive = False
+        for task in list(self._tasks):
+            task.kill()
+        self._tasks.clear()
+        watchers, self._death_watchers = self._death_watchers, []
+        for callback in watchers:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "dead"
+        return f"<IsisProcess {self.name} {self.address} {state}>"

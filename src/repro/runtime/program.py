@@ -1,0 +1,42 @@
+"""Program registry: the remote-execution service's catalogue.
+
+§4 mentions a *remote execution service* at each site, and §3.8's
+recovery manager "will restart processes after they fail, or if a site
+recovers".  Both need a way to instantiate an application by name on an
+arbitrary site: programs register a factory here, and
+:meth:`~repro.runtime.site.Site.run_program` (or the recovery manager)
+invokes it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import IsisError
+
+ProgramFactory = Callable[..., None]
+
+
+class ProgramRegistry:
+    """Name → factory mapping, shared by every site in the cluster."""
+
+    def __init__(self) -> None:
+        self._programs: Dict[str, ProgramFactory] = {}
+
+    def register(self, name: str, factory: ProgramFactory) -> None:
+        """Register ``factory(process, *args, **kwargs)`` under ``name``."""
+        if not callable(factory):
+            raise IsisError(f"program factory for {name!r} is not callable")
+        self._programs[name] = factory
+
+    def lookup(self, name: str) -> ProgramFactory:
+        factory = self._programs.get(name)
+        if factory is None:
+            raise IsisError(f"no program registered under {name!r}")
+        return factory
+
+    def registered(self) -> list[str]:
+        return sorted(self._programs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._programs

@@ -1,0 +1,181 @@
+"""Computing sites and the cluster that connects them.
+
+A *site* (§2.1) hosts processes and can crash as a unit; a crashed site
+can later reboot with a new incarnation number, at which point its stable
+store is intact but all processes are gone (the recovery manager restarts
+registered programs).  The :class:`Cluster` owns the LAN, the bulk
+channel, the per-site stable stores and the program registry — everything
+that outlives any individual site incarnation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import IsisError, SiteDown
+from ..net.bulk import BulkChannel, BulkConfig
+from ..net.lan import Lan, LanConfig
+from ..net.transport import Transport
+from ..sim.core import Simulator
+from ..sim.cpu import Cpu
+from .process import IsisProcess
+from .program import ProgramRegistry
+from .stable import StableStore
+
+#: local_id 0 is reserved for the per-site protocols process (kernel).
+KERNEL_LOCAL_ID = 0
+
+
+class Site:
+    """One computing site: CPU, transport endpoint, hosted processes."""
+
+    def __init__(self, cluster: "Cluster", site_id: int):
+        self.cluster = cluster
+        self.sim: Simulator = cluster.sim
+        self.site_id = site_id
+        self.incarnation = -1  # becomes 0 on first boot
+        self.cpu = Cpu(self.sim, name=f"cpu{site_id}")
+        self.stable: StableStore = cluster.stable_store(site_id)
+        self.processes: Dict[int, IsisProcess] = {}
+        self.transport: Optional[Transport] = None
+        self.up = False
+        self._next_local_id = KERNEL_LOCAL_ID + 1
+        self._message_handler: Optional[Callable[[int, bytes], None]] = None
+        self._boot_hooks: List[Callable[["Site"], None]] = []
+        self._crash_hooks: List[Callable[["Site"], None]] = []
+
+    # -- lifecycle ---------------------------------------------------------
+    def on_boot(self, hook: Callable[["Site"], None]) -> None:
+        """Run ``hook(site)`` at every boot (the core layer installs its
+        protocols process through this)."""
+        self._boot_hooks.append(hook)
+
+    def on_crash(self, hook: Callable[["Site"], None]) -> None:
+        self._crash_hooks.append(hook)
+
+    def boot(self) -> None:
+        """Start (or restart) the site with a fresh incarnation."""
+        if self.up:
+            raise IsisError(f"site {self.site_id} is already up")
+        self.incarnation += 1
+        if self.incarnation > 0xFF:
+            raise IsisError(f"site {self.site_id} exceeded 255 incarnations")
+        self.processes = {}
+        self._next_local_id = KERNEL_LOCAL_ID + 1
+        self.transport = Transport(
+            self.sim,
+            self.cluster.lan,
+            self.site_id,
+            epoch=self.incarnation,
+            cpu=self.cpu,
+            on_message=self._on_transport_message,
+        )
+        self.up = True
+        self.sim.trace.log("site.boot", (self.site_id, self.incarnation))
+        for hook in self._boot_hooks:
+            hook(self)
+
+    def crash(self) -> None:
+        """Fail-stop the whole site: all processes die, the NIC goes dark."""
+        if not self.up:
+            return
+        self.up = False
+        self.sim.trace.log("site.crash", (self.site_id, self.incarnation))
+        for process in list(self.processes.values()):
+            process.kill()
+        self.processes = {}
+        if self.transport is not None:
+            self.transport.shutdown()
+            self.transport = None
+        self._message_handler = None
+        for hook in self._crash_hooks:
+            hook(self)
+
+    # -- processes ----------------------------------------------------------
+    def spawn_process(self, name: str, local_id: Optional[int] = None) -> IsisProcess:
+        """Create a process at this site."""
+        if not self.up:
+            raise SiteDown(f"site {self.site_id} is down")
+        if local_id is None:
+            local_id = self._next_local_id
+            self._next_local_id += 1
+        if local_id in self.processes:
+            raise IsisError(f"local id {local_id} in use at site {self.site_id}")
+        process = IsisProcess(self, local_id, name)
+        self.processes[local_id] = process
+        process.watch_death(self._process_died)
+        return process
+
+    def _process_died(self, process: IsisProcess) -> None:
+        self.processes.pop(process.local_id, None)
+
+    def process_by_id(self, local_id: int) -> Optional[IsisProcess]:
+        return self.processes.get(local_id)
+
+    def run_program(self, program: str, *args: Any, **kwargs: Any) -> IsisProcess:
+        """Instantiate a registered program as a new process (rexec)."""
+        factory = self.cluster.programs.lookup(program)
+        process = self.spawn_process(name=program)
+        factory(process, *args, **kwargs)
+        return process
+
+    # -- networking ----------------------------------------------------------
+    def set_message_handler(self, handler: Callable[[int, bytes], None]) -> None:
+        """Install the kernel's handler for inbound transport messages."""
+        self._message_handler = handler
+
+    def _on_transport_message(self, src_site: int, data: bytes) -> None:
+        if self._message_handler is not None:
+            self._message_handler(src_site, data)
+        else:
+            self.sim.trace.bump("site.dropped.nokernel")
+
+    def send_bytes(self, dst_site: int, data: bytes,
+                   piggyback: bool = False):
+        """Reliable FIFO send to another site (kernel use)."""
+        if not self.up or self.transport is None:
+            raise SiteDown(f"site {self.site_id} is down")
+        return self.transport.send(dst_site, data, piggyback=piggyback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.up else "down"
+        return f"<Site {self.site_id} inc={self.incarnation} {state}>"
+
+
+class Cluster:
+    """The whole simulated distributed system."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_sites: int = 4,
+        lan_config: Optional[LanConfig] = None,
+        bulk_config: Optional[BulkConfig] = None,
+    ):
+        self.sim = sim
+        self.lan = Lan(sim, lan_config or LanConfig())
+        self.bulk = BulkChannel(sim, self.lan, bulk_config or BulkConfig())
+        self.programs = ProgramRegistry()
+        self._stores: Dict[int, StableStore] = {}
+        self.sites: Dict[int, Site] = {}
+        for site_id in range(n_sites):
+            self.sites[site_id] = Site(self, site_id)
+
+    def stable_store(self, site_id: int) -> StableStore:
+        """The durable disk for ``site_id`` (shared across incarnations)."""
+        store = self._stores.get(site_id)
+        if store is None:
+            store = StableStore(self.sim, site_id)
+            self._stores[site_id] = store
+        return store
+
+    def site(self, site_id: int) -> Site:
+        return self.sites[site_id]
+
+    def boot_all(self) -> None:
+        for site in self.sites.values():
+            if not site.up:
+                site.boot()
+
+    def up_sites(self) -> List[int]:
+        return sorted(s.site_id for s in self.sites.values() if s.up)

@@ -1,0 +1,84 @@
+"""Simulated stable storage: per-site disks that survive crashes.
+
+§2.2 "Stable storage": *"If processes need to recover their state after a
+failure, a mechanism is needed for creating periodic checkpoints or logs
+that can be replayed on recovery."*
+
+A :class:`StableStore` belongs to the *site*, not to any process or
+incarnation: crashing and restarting the site leaves its contents intact,
+which is what lets the recovery manager replay logs after even a total
+failure.  Writes pay a (simulated) disk latency; reads are free, as the
+paper's tools only read during recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim.core import Simulator
+from ..sim.tasks import Promise
+
+
+class StableStore:
+    """Keyed blobs plus append-only logs, durable across site restarts."""
+
+    def __init__(self, sim: Simulator, site_id: int, write_latency: float = 0.020):
+        self.sim = sim
+        self.site_id = site_id
+        self.write_latency = write_latency
+        self._blobs: Dict[str, bytes] = {}
+        self._logs: Dict[str, List[bytes]] = {}
+
+    # -- keyed blobs (checkpoints, registrations) ------------------------
+    def write(self, key: str, data: bytes) -> Promise:
+        """Durably store ``data`` under ``key``; resolves after disk latency."""
+        promise = Promise(label=f"disk{self.site_id}.write({key})")
+
+        def commit() -> None:
+            self._blobs[key] = bytes(data)
+            self.sim.trace.bump("stable.writes")
+            promise.resolve(None)
+
+        self.sim.call_after(self.write_latency, commit)
+        return promise
+
+    def read(self, key: str) -> Optional[bytes]:
+        """Latest durable value for ``key`` (None if never written)."""
+        return self._blobs.get(key)
+
+    def delete(self, key: str) -> None:
+        self._blobs.pop(key, None)
+
+    def keys(self, prefix: str = "") -> List[str]:
+        return sorted(k for k in self._blobs if k.startswith(prefix))
+
+    # -- append-only logs ----------------------------------------------------
+    def append(self, log: str, record: bytes) -> Promise:
+        """Append ``record`` to ``log``; resolves after disk latency."""
+        promise = Promise(label=f"disk{self.site_id}.append({log})")
+
+        def commit() -> None:
+            self._logs.setdefault(log, []).append(bytes(record))
+            self.sim.trace.bump("stable.appends")
+            promise.resolve(None)
+
+        self.sim.call_after(self.write_latency, commit)
+        return promise
+
+    def read_log(self, log: str) -> List[bytes]:
+        """All records of ``log`` in append order."""
+        return list(self._logs.get(log, ()))
+
+    def log_length(self, log: str) -> int:
+        return len(self._logs.get(log, ()))
+
+    def truncate_log(self, log: str, keep_from: int = 0) -> None:
+        """Drop records before index ``keep_from`` (after a checkpoint)."""
+        records = self._logs.get(log)
+        if records is not None:
+            self._logs[log] = records[keep_from:]
+
+    def wipe(self) -> None:
+        """Erase the disk (tests only — real crashes never do this)."""
+        self._blobs.clear()
+        self._logs.clear()

@@ -1,0 +1,28 @@
+"""Discrete-event simulation substrate (clock, tasks, CPU, trace, RNG)."""
+
+from .core import Simulator, Timer
+from .cpu import Cpu, CpuMeter
+from .rand import RngRegistry, derive_seed
+from .sync import Channel, Gate, Lock
+from .tasks import Promise, Task, all_of, any_of, sleep, spawn, with_timeout
+from .trace import Trace
+
+__all__ = [
+    "Simulator",
+    "Timer",
+    "Cpu",
+    "CpuMeter",
+    "RngRegistry",
+    "derive_seed",
+    "Channel",
+    "Gate",
+    "Lock",
+    "Promise",
+    "Task",
+    "all_of",
+    "any_of",
+    "sleep",
+    "spawn",
+    "with_timeout",
+    "Trace",
+]

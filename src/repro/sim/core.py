@@ -1,0 +1,178 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is a single priority queue of timestamped callbacks.  Ties are
+broken by a monotonically increasing sequence number, so two runs of the
+same program with the same seed produce byte-identical event orders.  All
+of isis-vs (network links, CPU costs, heartbeat timers, protocol timeouts,
+lightweight tasks) is scheduled through this one heap.
+
+Simulated time is a float in **seconds**.  Nothing in the kernel sleeps in
+wall-clock time; :meth:`Simulator.run` simply drains the heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+from .rand import RngRegistry
+from .trace import Trace
+
+
+class Timer:
+    """Handle for a scheduled callback; supports cancellation.
+
+    Cancellation is lazy: the heap entry stays in place and is discarded
+    when popped.  This keeps :meth:`cancel` O(1).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self.cancelled = True
+        # Drop references so cancelled timers do not pin large closures.
+        self.fn = None  # type: ignore[assignment]
+        self.args = ()
+
+    def __lt__(self, other: "Timer") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "armed"
+        return f"<Timer t={self.time:.6f} seq={self.seq} {state}>"
+
+
+class Simulator:
+    """The event loop: a clock, an event heap, RNG streams and a trace.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  Every named RNG stream (see :meth:`rng`) derives its
+        own deterministic substream from this value.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._now: float = 0.0
+        self._heap: list[Timer] = []
+        self._seq: int = 0
+        self._running = False
+        self._rngs = RngRegistry(seed)
+        self.seed = seed
+        #: Counters and event log shared by all layers.
+        self.trace = Trace(self)
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_at(self, time: float, fn: Callable, *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``.
+
+        Scheduling in the past is an error — it would silently reorder
+        history and break determinism.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f}, now is t={self._now:.6f}"
+            )
+        timer = Timer(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, timer)
+        return timer
+
+    def call_after(self, delay: float, fn: Callable, *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` after ``delay`` seconds (>= 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.call_at(self._now + delay, fn, *args)
+
+    def call_soon(self, fn: Callable, *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` at the current time, after pending events."""
+        return self.call_at(self._now, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single next event.  Returns False if the heap is empty."""
+        while self._heap:
+            timer = heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self._now = timer.time
+            fn, args = timer.fn, timer.args
+            timer.cancel()  # release references
+            fn(*args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event heap.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would run strictly after this time; the
+            clock is advanced to ``until`` on return.
+        max_events:
+            Safety valve for tests; stop after this many events.
+
+        Returns the number of events executed.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() re-entered")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                if max_events is not None and executed >= max_events:
+                    break
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                self.step()
+                executed += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return executed
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> int:
+        """Run until no events remain (heartbeats excluded by callers)."""
+        return self.run(max_events=max_events)
+
+    @property
+    def pending_events(self) -> int:
+        """Number of (possibly cancelled) heap entries; for tests/debugging."""
+        return sum(1 for t in self._heap if not t.cancelled)
+
+    # ------------------------------------------------------------------
+    # Randomness
+    # ------------------------------------------------------------------
+    def rng(self, stream: str):
+        """Named deterministic RNG substream (``random.Random``)."""
+        return self._rngs.stream(stream)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.6f} pending={len(self._heap)}>"

@@ -1,0 +1,140 @@
+"""Task-level synchronization: channels, gates, locks.
+
+These are *simulation-internal* primitives used to build the toolkit; the
+user-facing fault-tolerant semaphore lives in :mod:`repro.tools.semaphore`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List
+
+from .core import Simulator
+from .tasks import Promise
+
+
+class Channel:
+    """Unbounded FIFO queue connecting producer and consumer tasks.
+
+    ``put`` never blocks; ``get`` returns a promise resolved with the next
+    item (immediately if one is queued).  Items are handed to waiters in
+    FIFO order, one item per waiter.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "chan"):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._waiters: Deque[Promise] = deque()
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``, waking the oldest waiter if any."""
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done:
+                waiter.resolve(item)
+                return
+        self._items.append(item)
+
+    def get(self) -> Promise:
+        """Promise for the next item."""
+        promise = Promise(label=f"{self.name}.get")
+        if self._items:
+            promise.resolve(self._items.popleft())
+        elif self._closed:
+            promise.reject(EOFError(f"channel {self.name} closed"))
+        else:
+            self._waiters.append(promise)
+        return promise
+
+    def close(self) -> None:
+        """Reject all current and future getters."""
+        self._closed = True
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done:
+                waiter.reject(EOFError(f"channel {self.name} closed"))
+
+    def drain(self) -> List[Any]:
+        """Remove and return all queued items (non-blocking)."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+
+class Gate:
+    """A broadcast condition: tasks wait until the gate opens.
+
+    Once opened, all current and future waits resolve immediately until
+    :meth:`reset` is called.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "gate", open_: bool = False):
+        self.sim = sim
+        self.name = name
+        self._open = open_
+        self._waiters: List[Promise] = []
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def wait(self) -> Promise:
+        promise = Promise(label=f"{self.name}.wait")
+        if self._open:
+            promise.resolve(None)
+        else:
+            self._waiters.append(promise)
+        return promise
+
+    def open(self) -> None:
+        """Open the gate, releasing every waiter."""
+        self._open = True
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter.resolve(None)
+
+    def reset(self) -> None:
+        """Close the gate again (waiters that already passed are unaffected)."""
+        self._open = False
+
+
+class Lock:
+    """FIFO mutual exclusion between tasks of one process."""
+
+    def __init__(self, sim: Simulator, name: str = "lock"):
+        self.sim = sim
+        self.name = name
+        self._locked = False
+        self._waiters: Deque[Promise] = deque()
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def acquire(self) -> Promise:
+        """Promise resolved when the caller holds the lock."""
+        promise = Promise(label=f"{self.name}.acquire")
+        if not self._locked:
+            self._locked = True
+            promise.resolve(None)
+        else:
+            self._waiters.append(promise)
+        return promise
+
+    def release(self) -> None:
+        """Hand the lock to the next waiter, or unlock."""
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done:
+                waiter.resolve(None)
+                return
+        self._locked = False
+
+    def locked_section(self):
+        """Generator helper: ``yield from lock.locked_section()`` is acquire."""
+        yield self.acquire()

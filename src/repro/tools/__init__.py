@@ -1,0 +1,63 @@
+"""The ISIS toolkit (§3): tools layered on the virtual synchrony core."""
+
+from .bboard import BulletinBoard, Posting
+from .config import ConfigTool
+from .coordinator import CoordCohortTool, pick_coordinator
+from .entries import (
+    BB_POST_ENTRY,
+    CONFIG_ENTRY,
+    NEWS_CTL_ENTRY,
+    NEWS_DELIVERY_ENTRY,
+    NEWS_POST_ENTRY,
+    REPL_READ_ENTRY,
+    REPL_UPDATE_ENTRY,
+    SEM_ENTRY,
+    TXN_ENTRY,
+)
+from .monitor import SiteMonitor
+from .news import NEWS_GROUP, NewsClient, NewsServer
+from .protection import ACCEPT, REJECT, ProtectionTool
+from .realtime import ClockSync, RealTimeTool, SiteClock, install_clocks
+from .recovery import RecoveryManager, install_recovery
+from .replication import ReplicatedData
+from .semaphore import SemaphoreClient, SemaphoreManager
+from .transactions import Transaction, TransactionTool
+from .transfer import carve, register_raw_state, register_state
+
+__all__ = [
+    "BulletinBoard",
+    "Posting",
+    "ConfigTool",
+    "CoordCohortTool",
+    "pick_coordinator",
+    "SiteMonitor",
+    "NewsServer",
+    "NewsClient",
+    "NEWS_GROUP",
+    "ProtectionTool",
+    "ACCEPT",
+    "REJECT",
+    "RecoveryManager",
+    "install_recovery",
+    "SiteClock",
+    "ClockSync",
+    "RealTimeTool",
+    "install_clocks",
+    "ReplicatedData",
+    "SemaphoreManager",
+    "SemaphoreClient",
+    "Transaction",
+    "TransactionTool",
+    "carve",
+    "register_state",
+    "register_raw_state",
+    "CONFIG_ENTRY",
+    "REPL_UPDATE_ENTRY",
+    "REPL_READ_ENTRY",
+    "SEM_ENTRY",
+    "NEWS_POST_ENTRY",
+    "NEWS_CTL_ENTRY",
+    "NEWS_DELIVERY_ENTRY",
+    "TXN_ENTRY",
+    "BB_POST_ENTRY",
+]

@@ -1,0 +1,16 @@
+"""Reserved entry numbers used by the toolkit's tools.
+
+Application entries should use ENTRY_USER_BASE (16) .. 239; the toolkit
+claims the top of the range.  (Entry 3 — GENERIC_CC_REPLY — and entry 255
+— pg_kill — are claimed by the kernel itself.)
+"""
+
+CONFIG_ENTRY = 240        # configuration tool updates (GBCAST)
+REPL_UPDATE_ENTRY = 241   # replicated data updates
+REPL_READ_ENTRY = 242     # replicated data remote reads
+SEM_ENTRY = 243           # semaphore P/V operations
+NEWS_POST_ENTRY = 244     # news service: post dissemination
+NEWS_CTL_ENTRY = 245      # news service: subscribe/cancel
+NEWS_DELIVERY_ENTRY = 246 # news arriving at a subscriber process
+TXN_ENTRY = 247           # transactional tool operations
+BB_POST_ENTRY = 248       # bulletin-board tool posts

@@ -1,0 +1,62 @@
+"""Site- and process-monitoring facility (§3.7).
+
+*"ISIS provides a site-monitoring facility that can trigger actions when
+a site or process fails or a site recovers.  Site and process failures
+are clean events in ISIS: once a failure is signaled, all interested
+processes will observe it, and all see the same sequence of failures and
+recoveries."*
+
+Site events come from the agreed site-view sequence (so every observer
+sees the same order); process events come from group views (for members)
+or local death watching (for co-located processes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from ..core.groups import Isis
+from ..msg.address import Address
+
+
+class SiteMonitor:
+    """Watch sites fail and recover, in the agreed order."""
+
+    def __init__(self, isis: Isis):
+        self.isis = isis
+        self._on_fail: Dict[int, List[Callable[[int], None]]] = {}
+        self._on_recover: Dict[int, List[Callable[[int], None]]] = {}
+        self._events: List = []
+        kernel = getattr(isis.process.site, "kernel", None)
+        if kernel is not None:
+            kernel.site_view_hooks.append(self._on_site_view)
+
+    # -- registration ---------------------------------------------------
+    def watch_failure(self, site_id: int,
+                      callback: Callable[[int], None]) -> None:
+        """Invoke ``callback(site_id)`` when the site leaves the view."""
+        self._on_fail.setdefault(site_id, []).append(callback)
+
+    def watch_recovery(self, site_id: int,
+                       callback: Callable[[int], None]) -> None:
+        """Invoke ``callback(site_id)`` when the site rejoins the view."""
+        self._on_recover.setdefault(site_id, []).append(callback)
+
+    def watch_process(self, process, callback: Callable[[Address], None]) -> None:
+        """Local process death watch (immediate, §2.1)."""
+        process.watch_death(lambda p: callback(p.address))
+
+    # -- events --------------------------------------------------------------
+    def _on_site_view(self, view, departed: Set[int], joined: Set[int]) -> None:
+        for site in sorted(departed):
+            self._events.append(("fail", site, view.view_id))
+            for callback in self._on_fail.get(site, []):
+                callback(site)
+        for site in sorted(joined):
+            self._events.append(("recover", site, view.view_id))
+            for callback in self._on_recover.get(site, []):
+                callback(site)
+
+    def event_history(self) -> List:
+        """The locally observed (and globally agreed) event sequence."""
+        return list(self._events)

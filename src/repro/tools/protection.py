@@ -1,0 +1,78 @@
+"""Protection tool (§3.10).
+
+*"A protection tool is provided that, if desired, will validate all
+incoming messages using the sender address.  Messages that arrive from an
+unknown or untrusted client will be presented to a user-specified routine
+that must determine the appropriate action to take based on the sender
+and the message contents.  This works because ISIS ensures that a
+sender's address cannot be forged."*
+
+Implemented as a message filter (§4.1) installed at the head of the
+process's filter chain, plus join validation through ``pg_join_verify``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Set
+
+from ..core.groups import Isis
+from ..msg.address import Address
+from ..msg.message import Message
+
+#: Decision returned by the arbitration routine.
+ACCEPT = "accept"
+REJECT = "reject"
+
+Arbiter = Callable[[Address, Message], str]
+
+
+class ProtectionTool:
+    """Sender-address validation for one process."""
+
+    def __init__(self, isis: Isis, arbiter: Optional[Arbiter] = None):
+        self.isis = isis
+        self._trusted: Set[Address] = set()
+        self._trusted_sites: Set[int] = set()
+        self._arbiter = arbiter
+        isis.process.prepend_filter(self._filter)
+
+    # -- policy ----------------------------------------------------------
+    def trust(self, sender: Address) -> None:
+        """Whitelist a specific process."""
+        self._trusted.add(sender.process())
+
+    def trust_site(self, site_id: int) -> None:
+        """Whitelist every process at a site."""
+        self._trusted_sites.add(site_id)
+
+    def untrust(self, sender: Address) -> None:
+        self._trusted.discard(sender.process())
+
+    def set_arbiter(self, arbiter: Arbiter) -> None:
+        """User routine consulted for unknown senders."""
+        self._arbiter = arbiter
+
+    def protect_joins(self, gid: Address,
+                      validator: Callable[[Address, Any], bool]):
+        """Validate group joins before membership is granted (§3.10).
+
+        Returns the promise of the underlying registration.
+        """
+        return self.isis.pg_join_verify(gid, validator)
+
+    # -- the filter ------------------------------------------------------------
+    def _filter(self, msg: Message) -> Optional[Message]:
+        sender = msg.sender
+        if sender is None:
+            # Kernel-internal delivery with no sender: let it pass (the
+            # kernel is trusted; only client traffic carries senders).
+            return msg
+        key = sender.process()
+        if key in self._trusted or sender.site in self._trusted_sites:
+            return msg
+        if self._arbiter is not None:
+            verdict = self._arbiter(sender, msg)
+            if verdict == ACCEPT:
+                return msg
+        self.isis.sim.trace.bump("protection.rejected")
+        return None

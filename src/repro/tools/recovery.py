@@ -1,0 +1,197 @@
+"""Recovery manager (§3.8).
+
+*"This tool will restart processes after they fail, or if a site
+recovers.  The recovery manager runs an algorithm similar to the one in
+[Skeen] to distinguish the total failure of a process group from the
+partial failure of a member, and will advise the recovering process
+either to restart the group (if it was one of the last to fail) or to
+wait for it to restart elsewhere and then rejoin."*
+
+Mechanics:
+
+* Applications **register** a (group name, program) pair at the sites
+  where the service may be restarted; registrations persist on stable
+  storage.
+* While a registered group runs, each member site **logs** every
+  installed view id to stable storage (via a kernel view hook).
+* When a site (re)boots, its recovery manager waits for the site view to
+  settle, then for each registration:
+
+  - if the group exists somewhere (namespace lookup succeeds), this is a
+    **partial failure**: the program is restarted in ``mode="join"``;
+  - otherwise it polls the other recovery managers for their last logged
+    view ids ([Skeen]: the last process to fail knows the final state).
+    If nobody reachable logged a *later* view (ties broken by lowest
+    site id), this site restarts the group in ``mode="create"``; if
+    someone else wins, we wait and rejoin once the winner has restarted.
+
+Program factories are looked up in the cluster's program registry and
+invoked as ``factory(process, mode, group_name)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..core.kernel import ProtocolsProcess
+from ..errors import NoSuchGroup, RecoveryError
+from ..msg.message import Message
+from ..sim.tasks import Promise, sleep, with_timeout
+
+_REG_PREFIX = "rm/prog/"
+_VIEW_PREFIX = "rm/views/"
+
+
+class RecoveryManager:
+    """The per-site recovery service."""
+
+    def __init__(self, kernel: ProtocolsProcess, settle_delay: float = 8.0,
+                 poll_timeout: float = 3.0, retry_delay: float = 5.0):
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.site = kernel.site
+        self.settle_delay = settle_delay
+        self.poll_timeout = poll_timeout
+        self.retry_delay = retry_delay
+        self._pending_polls: Dict[int, Tuple[Promise, Set[int], Dict[int, int]]] = {}
+        self._next_poll = 1
+        kernel.register_service("rm.", self._on_message)
+        kernel.view_hooks.append(self._log_view)
+        self._recover_registered()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, group_name: str, program: str) -> Promise:
+        """Persistently register ``program`` to recover ``group_name`` here."""
+        self.sim.trace.bump("tool.rm_register")
+        return self.site.stable.write(
+            _REG_PREFIX + group_name, program.encode("utf-8"))
+
+    def registered_groups(self) -> List[str]:
+        return [k[len(_REG_PREFIX):] for k in self.site.stable.keys(_REG_PREFIX)]
+
+    # ------------------------------------------------------------------
+    # View logging (the [Skeen] knowledge)
+    # ------------------------------------------------------------------
+    def _log_view(self, engine, old_view, new_view, event) -> None:
+        name = self._name_of(engine)
+        if name is None or self.site.stable.read(_REG_PREFIX + name) is None:
+            return
+        self.site.stable.write(
+            _VIEW_PREFIX + name, str(new_view.view_id).encode("utf-8"))
+
+    def _name_of(self, engine) -> Optional[str]:
+        if engine.name:
+            return engine.name
+        for name, gid in self.kernel.namespace.entries().items():
+            if gid.process() == engine.gid.process():
+                return name
+        return None
+
+    def last_logged_view(self, group_name: str) -> int:
+        raw = self.site.stable.read(_VIEW_PREFIX + group_name)
+        return int(raw.decode("utf-8")) if raw else 0
+
+    # ------------------------------------------------------------------
+    # Recovery on boot
+    # ------------------------------------------------------------------
+    def _recover_registered(self) -> None:
+        for group_name in self.registered_groups():
+            raw = self.site.stable.read(_REG_PREFIX + group_name)
+            program = raw.decode("utf-8")
+            self.kernel.process.spawn(
+                self._recover(group_name, program), f"rm.{group_name}")
+
+    def _recover(self, group_name: str, program: str):
+        yield sleep(self.sim, self.settle_delay)
+        while self.kernel.alive:
+            # Partial failure? The group may be running elsewhere.
+            gid = None
+            try:
+                gid = yield self.kernel.lookup_name(group_name)
+            except NoSuchGroup:
+                gid = None
+            if gid is not None:
+                self.sim.trace.bump("tool.rm_rejoins")
+                self._launch(program, "join", group_name)
+                return
+            # Total failure: am I the one who should restart it?
+            mine = self.last_logged_view(group_name)
+            peers = yield from self._poll_peers(group_name)
+            best_site, best_view = self.site.site_id, mine
+            for site, view_id in sorted(peers.items()):
+                if view_id > best_view or (
+                        view_id == best_view and site < best_site):
+                    best_site, best_view = site, view_id
+            if best_site == self.site.site_id:
+                self.sim.trace.bump("tool.rm_restarts")
+                self.sim.trace.log("rm.restart", (self.site.site_id, group_name))
+                self._launch(program, "create", group_name)
+                return
+            # Someone with later knowledge will restart it; wait and rejoin.
+            yield sleep(self.sim, self.retry_delay)
+
+    def _launch(self, program: str, mode: str, group_name: str) -> None:
+        factory = self.site.cluster.programs.lookup(program)
+        process = self.site.spawn_process(name=f"{program}[{mode}]")
+        factory(process, mode, group_name)
+
+    # ------------------------------------------------------------------
+    # Peer polling ("rm.q" / "rm.a")
+    # ------------------------------------------------------------------
+    def _poll_peers(self, group_name: str):
+        view = self.kernel.site_view
+        peers = set(view.sites()) - {self.site.site_id} if view else set()
+        results: Dict[int, int] = {}
+        if not peers:
+            return results
+        poll_id = self._next_poll
+        self._next_poll += 1
+        done = Promise(label=f"rm.poll({group_name})")
+        self._pending_polls[poll_id] = (done, set(peers), results)
+        for site in peers:
+            self.kernel.send_to_site(site, Message(
+                _proto="rm.q", poll=poll_id, group=group_name,
+                origin=self.site.site_id))
+        try:
+            yield with_timeout(self.sim, done, self.poll_timeout)
+        except Exception:
+            pass  # unreachable peers simply don't vote
+        self._pending_polls.pop(poll_id, None)
+        return results
+
+    def _on_message(self, src_site: int, msg: Message) -> None:
+        proto = msg["_proto"]
+        if proto == "rm.q":
+            self.kernel.send_to_site(src_site, Message(
+                _proto="rm.a", poll=msg["poll"],
+                last=self.last_logged_view(msg["group"]),
+                site=self.site.site_id))
+        elif proto == "rm.a":
+            entry = self._pending_polls.get(msg["poll"])
+            if entry is None:
+                return
+            done, waiting, results = entry
+            results[msg["site"]] = msg["last"]
+            waiting.discard(msg["site"])
+            if not waiting and not done.done:
+                done.resolve(results)
+
+
+def install_recovery(system, settle_delay: float = 8.0) -> Dict[int, RecoveryManager]:
+    """Attach a recovery manager to every site (now and on future boots).
+
+    Returns the (live-updated) mapping site_id → manager.
+    """
+    managers: Dict[int, RecoveryManager] = {}
+
+    def attach(site) -> None:
+        managers[site.site_id] = RecoveryManager(
+            site.kernel, settle_delay=settle_delay)
+
+    for site in system.cluster.sites.values():
+        site.on_boot(attach)
+        if site.up and getattr(site, "kernel", None) is not None:
+            attach(site)
+    return managers

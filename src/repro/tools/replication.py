@@ -1,0 +1,239 @@
+"""Replicated data tool (§3.6).
+
+*"This tool provides a simple way to replicate data, reducing access time
+in read-intensive settings and achieving low-overhead fault-tolerance."*
+
+Each managing process supplies ``update`` (and optionally ``read``)
+routines; arguments are passed through uninterpreted.  If the data
+structure needs a globally consistent request ordering (the FIFO-queue
+case of §2.4/§3.1) the tool transmits with **ABCAST**; if updates are
+asynchronous or the caller holds mutual exclusion, **CBCAST** is used —
+Table I: update = "1 async CBCAST or 1 ABCAST"; read-only access by the
+manager costs nothing; reads by other clients cost a CBCAST + 1 reply.
+
+Optional **logging mode** (§3.6/§5 step 6) records updates on stable
+storage with periodic checkpoints, enabling reload after total failure.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.engine import ABCAST, CBCAST
+from ..core.groups import Isis
+from ..errors import IsisError
+from ..msg.address import Address
+from ..msg.message import Message
+from ..sim.tasks import Promise
+from .entries import REPL_READ_ENTRY, REPL_UPDATE_ENTRY
+
+#: Checkpoint when the log grows past this many records (§3.6: "create a
+#: checkpoint if the log gets long").
+DEFAULT_CHECKPOINT_EVERY = 64
+
+
+class ReplicatedData:
+    """One manager's replica of a named replicated data item set."""
+
+    def __init__(
+        self,
+        isis: Isis,
+        gid: Address,
+        name: str = "data",
+        ordering: str = CBCAST,
+        apply_update: Optional[Callable[[Dict[str, Any], Message], None]] = None,
+        read_item: Optional[Callable[[Dict[str, Any], Message], Any]] = None,
+        logging: bool = False,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    ):
+        if ordering not in (CBCAST, ABCAST):
+            raise IsisError(f"ordering must be cbcast or abcast, got {ordering}")
+        self.isis = isis
+        self.gid = gid
+        self.name = name
+        self.ordering = ordering
+        self.items: Dict[str, Any] = {}
+        self._apply_update = apply_update or self._default_apply
+        self._read_item = read_item or self._default_read
+        self.logging = logging
+        self.checkpoint_every = checkpoint_every
+        self._log_name = f"repl/{name}"
+        self._applied = 0
+        self._next_uid = 1
+        self._early_applied: set = set()
+        isis.process.bind(REPL_UPDATE_ENTRY, self._on_update)
+        isis.process.bind(REPL_READ_ENTRY, self._on_read)
+        isis.register_transfer(
+            f"repl:{name}", self._encode_state, self._decode_state)
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def update(self, item: str, nwant: int = 0, **args: Any) -> Promise:
+        """Propagate an update to every copy.
+
+        Asynchronous by default (``nwant=0``): the caller continues
+        immediately and may *pretend the update has already been applied
+        everywhere* (§3.4) — no later read anywhere can return the prior
+        value once this copy has applied it, because reads at other
+        copies are ordered behind the update by the delivery discipline.
+
+        With ``nwant > 0`` the managers acknowledge after applying (used
+        by the transactional tool); the async path sends no replies, so
+        the Table I cost (1 multicast) is preserved.
+        """
+        self.isis.sim.trace.bump("tool.repl_update")
+        uid = None
+        if self.ordering == CBCAST:
+            # §3.4: the caller "can pretend that the message was delivered
+            # ... at the moment the CBCAST was issued".  A manager applies
+            # its own update to the local copy immediately, so no local
+            # read can ever return the prior value; the loopback delivery
+            # is deduplicated by uid.  (ABCAST mode must wait for the
+            # total order.)
+            kernel = getattr(self.isis.process.site, "kernel", None)
+            view = kernel.current_view(self.gid) if kernel else None
+            if view is not None and view.contains(self.isis.process.address):
+                uid = f"{self.isis.process.address.pack().hex()}:{self._next_uid}"
+                self._next_uid += 1
+                self._early_applied.add(uid)
+                early = Message(item=item, args=args)
+                self._apply_update(self.items, early)
+        return self.isis.bcast(self.gid, REPL_UPDATE_ENTRY, nwant=nwant,
+                               kind=self.ordering, item=item, args=args,
+                               ack=nwant > 0, uid=uid)
+
+    def read(self, item: str, default: Any = None) -> Any:
+        """Read-only access by a manager: local, no cost (Table I)."""
+        self.isis.sim.trace.bump("tool.repl_read_local")
+        query = Message(item=item)
+        value = self._read_item(self.items, query)
+        return default if value is None else value
+
+    def remote_read(self, item: str) -> Promise:
+        """Read by a non-manager client: CBCAST + 1 reply (Table I).
+
+        With ABCAST ordering the read travels with the same protocol as
+        updates, so it observes the totally ordered state.
+        """
+        self.isis.sim.trace.bump("tool.repl_read_remote")
+        return self._first_reply(
+            self.isis.bcast(self.gid, REPL_READ_ENTRY, nwant=1,
+                            kind=self.ordering, item=item))
+
+    @staticmethod
+    def _first_reply(promise: Promise) -> Promise:
+        out = Promise(label="repl.read")
+
+        def done(p: Promise) -> None:
+            if p.rejected:
+                out.reject(p.exception)
+            else:
+                replies = p._value
+                out.resolve(replies[0]["value"] if replies else None)
+
+        promise.add_done_callback(done)
+        return out
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def _on_update(self, msg: Message) -> None:
+        uid = msg.get("uid")
+        if uid is not None and uid in self._early_applied:
+            self._early_applied.discard(uid)  # applied at send time
+        else:
+            self._apply_update(self.items, msg)
+        self._applied += 1
+        if self.logging:
+            self.isis.process.spawn(self._log_record(msg), "repl.log")
+        if msg.get("ack"):
+            self.isis.process.spawn(self._ack_update(msg), "repl.ack")
+
+    def _ack_update(self, msg: Message):
+        view = yield self.isis.pg_view(self.gid)
+        if view is not None and self._is_designated_reader(view):
+            yield self.isis.reply(msg, ok=True)
+        else:
+            yield self.isis.null_reply(msg)
+
+    def _on_read(self, msg: Message) -> None:
+        """Remote read: only the lowest-ranked local manager replies."""
+        value = self._read_item(self.items, msg)
+        self.isis.process.spawn(self._answer_read(msg, value), "repl.read")
+
+    def _answer_read(self, msg: Message, value: Any):
+        view = yield self.isis.pg_view(self.gid)
+        if view is not None and self._is_designated_reader(view):
+            yield self.isis.reply(msg, value=value)
+        else:
+            yield self.isis.null_reply(msg)
+
+    def _is_designated_reader(self, view) -> bool:
+        """Oldest member answers reads (consistent at every copy)."""
+        return view.rank_of(self.isis.process.address) == 0
+
+    @staticmethod
+    def _default_apply(items: Dict[str, Any], msg: Message) -> None:
+        args = msg.get("args", {})
+        if "value" in args:
+            items[msg["item"]] = args["value"]
+        elif "delta" in args:
+            items[msg["item"]] = items.get(msg["item"], 0) + args["delta"]
+        elif args.get("delete"):
+            items.pop(msg["item"], None)
+        else:
+            raise IsisError(f"unintelligible update args {args!r}")
+
+    @staticmethod
+    def _default_read(items: Dict[str, Any], msg: Message) -> Any:
+        return items.get(msg["item"])
+
+    # ------------------------------------------------------------------
+    # Logging mode (§3.6): stable log + checkpoints
+    # ------------------------------------------------------------------
+    def _log_record(self, msg: Message):
+        store = self.isis.process.site.stable
+        record = msg.copy()
+        yield store.append(self._log_name, record.encode())
+        if store.log_length(self._log_name) >= self.checkpoint_every:
+            yield from self._checkpoint(store)
+
+    def _checkpoint(self, store):
+        self.isis.sim.trace.bump("tool.repl_checkpoints")
+        blob = json.dumps(self.items, default=str).encode("utf-8")
+        yield store.write(f"{self._log_name}/ckpt", blob)
+        store.truncate_log(self._log_name, keep_from=store.log_length(
+            self._log_name))
+
+    def recover_from_log(self) -> int:
+        """Reload state after a total failure (§5 step 6).
+
+        Applies the checkpoint then replays the log; returns the number
+        of replayed records.
+        """
+        store = self.isis.process.site.stable
+        ckpt = store.read(f"{self._log_name}/ckpt")
+        if ckpt is not None:
+            self.items = dict(json.loads(ckpt.decode("utf-8")))
+        replayed = 0
+        for record in store.read_log(self._log_name):
+            self._apply_update(self.items, Message.decode(record))
+            replayed += 1
+        self.isis.sim.trace.bump("tool.repl_recoveries")
+        return replayed
+
+    # ------------------------------------------------------------------
+    # State transfer
+    # ------------------------------------------------------------------
+    def _encode_state(self) -> List[bytes]:
+        """Carve the items into blocks (§3.6: 'chunks of variable size')."""
+        blob = json.dumps(self.items, default=str).encode("utf-8")
+        block = 8192
+        return [blob[i:i + block] for i in range(0, max(len(blob), 1), block)]
+
+    def _decode_state(self, blocks: List[bytes]) -> None:
+        blob = b"".join(blocks)
+        if blob:
+            self.items = dict(json.loads(blob.decode("utf-8")))

@@ -1,0 +1,71 @@
+"""State transfer helpers (§3.8).
+
+The transfer machinery itself lives in the kernel (it must interlock
+with the join flush: *"Up to the instant before the join occurs, the old
+set of members continue to receive requests and the new one does not"*).
+This module provides the application-facing conveniences: carving a
+state object into variable-sized blocks and registering encode/decode
+hooks, mirroring the paper's requirement that *"the application must be
+able to encode its state into a series of variable sized blocks"*.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, List
+
+from ..core.groups import Isis
+
+DEFAULT_BLOCK_SIZE = 8192
+
+
+def carve(blob: bytes, block_size: int = DEFAULT_BLOCK_SIZE) -> List[bytes]:
+    """Split a byte string into transfer blocks (at least one)."""
+    if not blob:
+        return [b""]
+    return [blob[i:i + block_size] for i in range(0, len(blob), block_size)]
+
+
+def register_state(
+    isis: Isis,
+    segment: str,
+    snapshot: Callable[[], Any],
+    restore: Callable[[Any], None],
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> None:
+    """Register JSON-serializable application state for auto-transfer.
+
+    ``snapshot()`` returns any JSON-encodable object; ``restore(obj)``
+    re-installs it at the joiner.  The carving into blocks (and the
+    choice between ISIS messages and the TCP bulk channel for large
+    states) is handled by the kernel.
+    """
+
+    def encoder() -> List[bytes]:
+        blob = json.dumps(snapshot(), default=str).encode("utf-8")
+        return carve(blob, block_size)
+
+    def decoder(blocks: List[bytes]) -> None:
+        blob = b"".join(blocks)
+        if blob:
+            restore(json.loads(blob.decode("utf-8")))
+
+    isis.register_transfer(segment, encoder, decoder)
+
+
+def register_raw_state(
+    isis: Isis,
+    segment: str,
+    snapshot: Callable[[], bytes],
+    restore: Callable[[bytes], None],
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> None:
+    """Like :func:`register_state` but for raw byte states."""
+
+    def encoder() -> List[bytes]:
+        return carve(snapshot(), block_size)
+
+    def decoder(blocks: List[bytes]) -> None:
+        restore(b"".join(blocks))
+
+    isis.register_transfer(segment, encoder, decoder)

@@ -1,0 +1,280 @@
+"""End-to-end tests of the virtual synchrony core: groups and multicast."""
+
+import pytest
+
+from repro import ALL, IsisCluster, Message
+from repro.errors import NoSuchGroup
+
+
+def make_system(n_sites=3, seed=0):
+    return IsisCluster(n_sites=n_sites, seed=seed)
+
+
+def run_to_result(system, task, timeout=120.0):
+    system.run(until=system.now + timeout)
+    assert task.done, f"task {task.name} did not finish by t={system.now}"
+    return task.value
+
+
+class TestGroupLifecycle:
+    def test_create_and_lookup(self):
+        system = make_system()
+        server, isis = system.spawn(0, "server")
+        client, client_isis = system.spawn(1, "client")
+
+        def server_main():
+            gid = yield isis.pg_create("svc")
+            return gid
+
+        def client_main():
+            gid = yield client_isis.pg_lookup("svc")
+            return gid
+
+        t1 = server.spawn(server_main(), "create")
+        system.run_for(5.0)
+        gid = t1.value
+        assert gid.is_group
+        t2 = client.spawn(client_main(), "lookup")
+        system.run_for(5.0)
+        assert t2.value == gid
+
+    def test_lookup_unknown_name_fails(self):
+        system = make_system()
+        client, isis = system.spawn(0, "client")
+
+        def main():
+            try:
+                yield isis.pg_lookup("ghost")
+            except NoSuchGroup:
+                return "missing"
+
+        task = client.spawn(main(), "lookup")
+        system.run_for(5.0)
+        assert task.value == "missing"
+
+    def test_join_from_another_site(self):
+        system = make_system()
+        creator, isis0 = system.spawn(0, "creator")
+        joiner, isis1 = system.spawn(1, "joiner")
+        views = {}
+
+        def create_main():
+            gid = yield isis0.pg_create("team")
+            views["gid"] = gid
+
+        def join_main():
+            gid = yield isis1.pg_lookup("team")
+            view = yield isis1.pg_join(gid)
+            return view
+
+        creator.spawn(create_main(), "create")
+        system.run_for(3.0)
+        task = joiner.spawn(join_main(), "join")
+        system.run_for(20.0)
+        view = task.value
+        assert view.rank_of(creator.address) == 0  # creator is oldest
+        assert view.rank_of(joiner.address) == 1
+        assert len(view.members) == 2
+
+    def test_members_see_same_view_sequence(self):
+        system = make_system()
+        creator, isis0 = system.spawn(0, "creator")
+        history0, history1 = [], []
+
+        def create_main():
+            gid = yield isis0.pg_create("team")
+            yield isis0.pg_monitor(gid, lambda v: history0.append(
+                tuple(str(m) for m in v.members)))
+
+        creator.spawn(create_main(), "create")
+        system.run_for(3.0)
+
+        joiners = []
+        for site in (1, 2):
+            proc, isis = system.spawn(site, f"j{site}")
+            joiners.append(proc)
+
+            def join_main(isis=isis, hist=history1 if site == 1 else None):
+                gid = yield isis.pg_lookup("team")
+                yield isis.pg_join(gid)
+                if hist is not None:
+                    yield isis.pg_monitor(gid, lambda v: hist.append(
+                        tuple(str(m) for m in v.members)))
+
+            proc.spawn(join_main(), f"join{site}")
+            system.run_for(20.0)
+        # The creator observed both joins, in order, ending at 3 members.
+        assert len(history0) == 2
+        assert len(history0[-1]) == 3
+
+    def test_leave_shrinks_view(self):
+        system = make_system()
+        creator, isis0 = system.spawn(0, "creator")
+        joiner, isis1 = system.spawn(1, "joiner")
+        views = []
+
+        def create_main():
+            gid = yield isis0.pg_create("team")
+            yield isis0.pg_monitor(gid, lambda v: views.append(v))
+
+        def join_then_leave():
+            gid = yield isis1.pg_lookup("team")
+            yield isis1.pg_join(gid)
+            yield isis1.pg_leave(gid)
+            return "left"
+
+        creator.spawn(create_main(), "create")
+        system.run_for(3.0)
+        task = joiner.spawn(join_then_leave(), "joinleave")
+        system.run_for(30.0)
+        assert task.value == "left"
+        assert len(views[-1].members) == 1
+
+
+class TestMulticast:
+    def _group_of_three(self, system, entry=16):
+        """Three members on three sites, all binding ``entry``."""
+        deliveries = {0: [], 1: [], 2: []}
+        procs = []
+        for site in range(3):
+            proc, isis = system.spawn(site, f"m{site}")
+            proc.bind(entry, lambda msg, s=site: deliveries[s].append(msg))
+            procs.append((proc, isis))
+
+        def create_main():
+            yield procs[0][1].pg_create("g3")
+
+        procs[0][0].spawn(create_main(), "create")
+        system.run_for(3.0)
+
+        for site in (1, 2):
+            def join_main(isis=procs[site][1]):
+                gid = yield isis.pg_lookup("g3")
+                yield isis.pg_join(gid)
+
+            procs[site][0].spawn(join_main(), f"join{site}")
+            system.run_for(20.0)
+        return procs, deliveries
+
+    def test_cbcast_reaches_all_members(self):
+        system = make_system()
+        procs, deliveries = self._group_of_three(system)
+
+        def send_main():
+            gid = yield procs[0][1].pg_lookup("g3")
+            yield procs[0][1].cbcast(gid, 16, q="hello")
+
+        procs[0][0].spawn(send_main(), "send")
+        system.run_for(10.0)
+        for site in range(3):
+            assert [m["q"] for m in deliveries[site]] == ["hello"]
+
+    def test_cbcast_sender_order_preserved(self):
+        system = make_system()
+        procs, deliveries = self._group_of_three(system)
+
+        def send_main():
+            gid = yield procs[0][1].pg_lookup("g3")
+            for i in range(5):
+                yield procs[0][1].cbcast(gid, 16, seq=i)
+
+        procs[0][0].spawn(send_main(), "send")
+        system.run_for(15.0)
+        for site in range(3):
+            assert [m["seq"] for m in deliveries[site]] == list(range(5))
+
+    def test_abcast_total_order_across_concurrent_senders(self):
+        system = make_system(seed=3)
+        procs, deliveries = self._group_of_three(system)
+
+        def send_main(idx):
+            gid = yield procs[idx][1].pg_lookup("g3")
+            for i in range(4):
+                yield procs[idx][1].abcast(gid, 16, tag=f"s{idx}.{i}")
+
+        for idx in range(3):
+            procs[idx][0].spawn(send_main(idx), f"send{idx}")
+        system.run_for(40.0)
+        orders = [[m["tag"] for m in deliveries[s]] for s in range(3)]
+        assert len(orders[0]) == 12
+        assert orders[0] == orders[1] == orders[2]
+
+    def test_rpc_collects_requested_replies(self):
+        system = make_system()
+        procs, _ = self._group_of_three(system)
+        # Rebind: members answer queries.
+        for site in range(3):
+            proc, isis = procs[site]
+
+            def answer(msg, isis=isis, site=site):
+                yield isis.reply(msg, answer=site * 10)
+
+            proc.bind(17, answer)
+        caller, caller_isis = system.spawn(0, "caller")
+
+        def call_main():
+            gid = yield caller_isis.pg_lookup("g3")
+            replies = yield caller_isis.cbcast(gid, 17, nwant=ALL, q="x")
+            return sorted(r["answer"] for r in replies)
+
+        task = caller.spawn(call_main(), "call")
+        system.run_for(20.0)
+        assert task.value == [0, 10, 20]
+
+    def test_null_replies_release_all_waiters(self):
+        system = make_system()
+        procs, _ = self._group_of_three(system)
+        for site in range(3):
+            proc, isis = procs[site]
+
+            def answer(msg, isis=isis, site=site):
+                if site == 1:
+                    yield isis.reply(msg, answer="real")
+                else:
+                    yield isis.null_reply(msg)
+
+            proc.bind(18, answer)
+        caller, caller_isis = system.spawn(2, "caller")
+
+        def call_main():
+            gid = yield caller_isis.pg_lookup("g3")
+            replies = yield caller_isis.cbcast(gid, 18, nwant=ALL, q="x")
+            return [r["answer"] for r in replies]
+
+        task = caller.spawn(call_main(), "call")
+        system.run_for(20.0)
+        assert task.value == ["real"]
+
+    def test_gbcast_delivered_to_all(self):
+        system = make_system()
+        procs, deliveries = self._group_of_three(system)
+
+        def send_main():
+            gid = yield procs[1][1].pg_lookup("g3")
+            yield procs[1][1].gbcast(gid, 16, cfg="new")
+
+        procs[1][0].spawn(send_main(), "send")
+        system.run_for(20.0)
+        for site in range(3):
+            assert [m["cfg"] for m in deliveries[site]] == ["new"]
+
+    def test_nonmember_client_rpc(self):
+        system = make_system()
+        procs, _ = self._group_of_three(system)
+        for site in range(3):
+            proc, isis = procs[site]
+
+            def answer(msg, isis=isis, site=site):
+                yield isis.reply(msg, frm=site)
+
+            proc.bind(19, answer)
+        client, client_isis = system.spawn(1, "outsider")
+
+        def call_main():
+            gid = yield client_isis.pg_lookup("g3")
+            replies = yield client_isis.cbcast(gid, 19, nwant=ALL, q="ping")
+            return sorted(r["frm"] for r in replies)
+
+        task = client.spawn(call_main(), "call")
+        system.run_for(25.0)
+        assert task.value == [0, 1, 2]

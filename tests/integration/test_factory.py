@@ -1,0 +1,82 @@
+"""Tests for the factory-automation services (§1's motivating example)."""
+
+import pytest
+
+from repro import IsisCluster
+from repro.apps.factory import (
+    EmulsionClient,
+    EmulsionService,
+    TransportService,
+)
+
+
+def deploy_emulsion(system, sites):
+    services = []
+    first = EmulsionService(system.site(sites[0]).spawn_process("em0"))
+    services.append(first)
+    first.process.spawn(first.start(mode="create"), "start0")
+    system.run_for(3.0)
+    for i, site in enumerate(sites[1:], start=1):
+        svc = EmulsionService(system.site(site).spawn_process(f"em{i}"))
+        services.append(svc)
+        svc.process.spawn(svc.start(mode="join"), f"start{i}")
+        system.run_for(25.0)
+    return services
+
+
+class TestEmulsionService:
+    def test_batch_executed_once_and_replicated(self):
+        system = IsisCluster(n_sites=3, seed=51)
+        services = deploy_emulsion(system, [0, 1])
+        client_proc = system.site(2).spawn_process("fab-client")
+        client = EmulsionClient(client_proc)
+
+        def main():
+            reply = yield from client.submit("batch-1", wafers=25)
+            return reply["batch"], reply["coated"]
+
+        task = client_proc.spawn(main(), "submit")
+        system.run_for(60.0)
+        assert task.value == ("batch-1", 25)
+        # Every replica saw the batch and knows it completed.
+        assert all("batch-1" in svc.completed for svc in services)
+        assert all(not svc.queue for svc in services)
+
+    def test_cohort_reruns_batch_after_coordinator_crash(self):
+        system = IsisCluster(n_sites=3, seed=52)
+        services = deploy_emulsion(system, [0, 1])
+        client_proc = system.site(2).spawn_process("fab-client")
+        client = EmulsionClient(client_proc)
+
+        def main():
+            reply = yield from client.submit("batch-x", wafers=10)
+            return reply["batch"]
+
+        task = client_proc.spawn(main(), "submit")
+        system.run_for(0.08)  # request in flight
+        system.crash_site(2 % 2)  # crash a member site mid-computation
+        system.run_for(180.0)
+        survivors = [s for s in services if s.process.alive]
+        assert survivors
+        assert any("batch-x" in s.completed for s in survivors)
+
+
+class TestTransportService:
+    def test_locations_replicate_and_config_assigns(self):
+        system = IsisCluster(n_sites=3, seed=53)
+        first = TransportService(system.site(0).spawn_process("tr0"))
+        first.process.spawn(first.start(mode="create"), "start0")
+        system.run_for(3.0)
+        second = TransportService(system.site(1).spawn_process("tr1"))
+        second.process.spawn(second.start(mode="join"), "start1")
+        system.run_for(25.0)
+
+        def main():
+            yield from first.assign_station("litho-1", 0)
+            yield from first.move("wafer-17", "litho-1")
+
+        first.process.spawn(main(), "ops")
+        system.run_for(30.0)
+        assert first.where("wafer-17") == "litho-1"
+        assert second.where("wafer-17") == "litho-1"
+        assert second.config.read("station:litho-1") == 0

@@ -1,0 +1,85 @@
+"""Property-based tests: codec round-trips (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.msg import Address, Message
+
+addresses = st.builds(
+    Address,
+    site=st.integers(0, 0xFFFF),
+    incarnation=st.integers(0, 0xFF),
+    local_id=st.integers(0, 0xFFFF),
+    entry=st.integers(0, 0xFF),
+    is_group=st.booleans(),
+    is_null=st.booleans(),
+)
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**63), 2**63 - 1),
+    st.floats(allow_nan=False),  # NaN != NaN would break equality checking
+    st.text(max_size=64),
+    st.binary(max_size=64),
+    addresses,
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(min_size=1, max_size=16), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+field_names = st.text(min_size=1, max_size=32)
+
+
+@given(addresses)
+def test_address_pack_roundtrip(addr):
+    assert Address.unpack(addr.pack()) == addr
+
+
+@given(st.dictionaries(field_names, values, max_size=8))
+@settings(max_examples=200)
+def test_message_encode_roundtrip(fields):
+    msg = Message()
+    for name, value in fields.items():
+        msg[name] = value
+    decoded = Message.decode(msg.encode())
+    assert decoded.fields() == _normalize(msg.fields())
+
+
+@given(st.dictionaries(field_names, values, max_size=6))
+def test_encoding_is_deterministic(fields):
+    msg = Message()
+    for name, value in fields.items():
+        msg[name] = value
+    assert msg.encode() == msg.encode()
+
+
+@given(st.dictionaries(field_names, values, max_size=6))
+def test_size_bytes_matches_encoding(fields):
+    msg = Message()
+    for name, value in fields.items():
+        msg[name] = value
+    assert msg.size_bytes == len(msg.encode())
+
+
+def _normalize(fields):
+    """Tuples decode as lists; normalize expectations accordingly."""
+
+    def norm(value):
+        if isinstance(value, tuple):
+            return [norm(v) for v in value]
+        if isinstance(value, list):
+            return [norm(v) for v in value]
+        if isinstance(value, dict):
+            return {k: norm(v) for k, v in value.items()}
+        if isinstance(value, bytearray):
+            return bytes(value)
+        return value
+
+    return {k: norm(v) for k, v in fields.items()}

@@ -1,0 +1,82 @@
+"""Property-based tests for the per-group message store."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.store import MessageStore
+from repro.msg import Message
+
+events = st.lists(
+    st.tuples(st.integers(0, 3),      # origin site
+              st.integers(1, 12)),    # gseq
+    min_size=1, max_size=60,
+)
+
+
+@given(events)
+def test_have_vector_is_max_contiguous_prefix(recorded):
+    store = MessageStore()
+    seen = set()
+    for origin, gseq in recorded:
+        store.record(origin, gseq, Message())
+        seen.add((origin, gseq))
+    have = store.have_vector()
+    for origin in {o for o, _ in seen}:
+        top = have.get(origin, 0)
+        # Everything up to `top` was recorded; top+1 was not.
+        for gseq in range(1, top + 1):
+            assert (origin, gseq) in seen
+        assert (origin, top + 1) not in seen
+
+
+@given(events)
+def test_record_is_idempotent(recorded):
+    store = MessageStore()
+    for origin, gseq in recorded:
+        store.record(origin, gseq, Message())
+    count = store.buffered_count
+    have = store.have_vector()
+    for origin, gseq in recorded:
+        assert not store.record(origin, gseq, Message())
+    assert store.buffered_count == count
+    assert store.have_vector() == have
+
+
+@given(st.lists(events, min_size=2, max_size=4))
+def test_union_dominates_every_member(all_recorded):
+    stores = []
+    for recorded in all_recorded:
+        store = MessageStore()
+        for origin, gseq in recorded:
+            store.record(origin, gseq, Message())
+        stores.append(store)
+    union = MessageStore.union(s.have_vector() for s in stores)
+    for store in stores:
+        for origin, top in store.have_vector().items():
+            assert union.get(origin, 0) >= top
+
+
+@given(events)
+@settings(max_examples=50)
+def test_missing_plus_held_covers_union(recorded):
+    """After refilling exactly `missing_from(union)`, a store is complete."""
+    store = MessageStore()
+    for origin, gseq in recorded:
+        store.record(origin, gseq, Message())
+    # Union from a hypothetical peer that has strictly more.
+    union = {o: t + 2 for o, t in store.have_vector().items()}
+    union.setdefault(9, 3)
+    for origin, gseq in store.missing_from(union):
+        store.record(origin, gseq, Message())
+    assert store.complete_for(union)
+
+
+@given(events, st.integers(0, 12))
+def test_trim_never_breaks_have_vector(recorded, cut):
+    store = MessageStore()
+    for origin, gseq in recorded:
+        store.record(origin, gseq, Message())
+    before = store.have_vector()
+    store.trim_stable({o: cut for o in before})
+    # Trimming only drops stable prefixes; contiguity metadata survives.
+    assert store.have_vector() == before

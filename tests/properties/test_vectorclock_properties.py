@@ -1,0 +1,87 @@
+"""Property-based tests: vector clock lattice laws (hypothesis)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.vectorclock import VectorClock
+from repro.msg import make_process_address
+
+MEMBERS = [make_process_address(s, 0, i) for s in range(3) for i in range(3)]
+
+clock_dicts = st.dictionaries(
+    st.sampled_from(MEMBERS), st.integers(0, 50), max_size=len(MEMBERS))
+
+
+def make(d):
+    vc = VectorClock()
+    for member, value in d.items():
+        vc.set(member, value)
+    return vc
+
+
+@given(clock_dicts, clock_dicts)
+def test_merge_is_commutative(a, b):
+    left = make(a)
+    left.merge(make(b))
+    right = make(b)
+    right.merge(make(a))
+    assert left == right
+
+
+@given(clock_dicts, clock_dicts, clock_dicts)
+def test_merge_is_associative(a, b, c):
+    left = make(a)
+    left.merge(make(b))
+    left.merge(make(c))
+    bc = make(b)
+    bc.merge(make(c))
+    right = make(a)
+    right.merge(bc)
+    assert left == right
+
+
+@given(clock_dicts)
+def test_merge_is_idempotent(a):
+    vc = make(a)
+    vc.merge(make(a))
+    assert vc == make(a)
+
+
+@given(clock_dicts, clock_dicts)
+def test_merge_dominates_both_inputs(a, b):
+    merged = make(a)
+    merged.merge(make(b))
+    assert merged.dominates(make(a))
+    assert merged.dominates(make(b))
+
+
+@given(clock_dicts, clock_dicts)
+def test_dominance_is_antisymmetric_up_to_equality(a, b):
+    va, vb = make(a), make(b)
+    if va.dominates(vb) and vb.dominates(va):
+        assert va == vb
+
+
+@given(clock_dicts)
+def test_increment_strictly_dominates(a):
+    vc = make(a)
+    before = vc.copy()
+    vc.increment(MEMBERS[0])
+    assert vc.dominates(before)
+    assert not before.dominates(vc)
+
+
+@given(clock_dicts)
+def test_wire_roundtrip_preserves_equality(a):
+    vc = make(a)
+    assert VectorClock.from_value(vc.to_value()) == vc
+
+
+@given(clock_dicts, st.sets(st.sampled_from(MEMBERS)))
+def test_restrict_is_projection(a, keep):
+    vc = make(a)
+    restricted = vc.restrict(keep)
+    for member in keep:
+        assert restricted.get(member) == vc.get(member)
+    for member in set(MEMBERS) - set(keep):
+        assert restricted.get(member) == 0

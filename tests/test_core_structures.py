@@ -1,0 +1,291 @@
+"""Unit tests for views, vector clocks, message store, causal/total order."""
+
+import pytest
+
+from repro.errors import GroupError
+from repro.msg import Message, make_group_address, make_process_address
+from repro.core.abcast import TotalOrderReceiver, TotalOrderSender
+from repro.core.cbcast import CausalReceiver
+from repro.core.store import MessageStore
+from repro.core.vectorclock import VectorClock, decode_context, encode_context
+from repro.core.view import View
+
+GID = make_group_address(0, 1)
+P0 = make_process_address(0, 0, 1)
+P1 = make_process_address(1, 0, 1)
+P2 = make_process_address(2, 0, 1)
+
+
+class TestView:
+    def test_ranking_is_by_position(self):
+        view = View(gid=GID, view_id=1, members=(P0, P1, P2))
+        assert view.rank_of(P0) == 0
+        assert view.rank_of(P2) == 2
+        assert view.rank_of(make_process_address(9, 0, 9)) == -1
+
+    def test_rank_ignores_entry_byte(self):
+        view = View(gid=GID, view_id=1, members=(P0,))
+        assert view.rank_of(P0.with_entry(99)) == 0
+
+    def test_coordinator_is_oldest(self):
+        view = View(gid=GID, view_id=1, members=(P1, P0))
+        assert view.coordinator() == P1
+
+    def test_empty_view_has_no_coordinator(self):
+        view = View(gid=GID, view_id=1, members=())
+        with pytest.raises(GroupError):
+            view.coordinator()
+
+    def test_adding_appends_youngest(self):
+        view = View(gid=GID, view_id=1, members=(P0,))
+        view2 = view.adding(P1)
+        assert view2.members == (P0, P1)
+        assert view2.view_id == 2
+
+    def test_adding_existing_member_rejected(self):
+        view = View(gid=GID, view_id=1, members=(P0,))
+        with pytest.raises(GroupError):
+            view.adding(P0)
+
+    def test_without_preserves_order(self):
+        view = View(gid=GID, view_id=1, members=(P0, P1, P2))
+        view2 = view.without([P1])
+        assert view2.members == (P0, P2)
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(GroupError):
+            View(gid=GID, view_id=1, members=(P0, P0))
+
+    def test_member_sites_deduplicated_sorted(self):
+        other_at_0 = make_process_address(0, 0, 2)
+        view = View(gid=GID, view_id=1, members=(P2, P0, other_at_0))
+        assert view.member_sites() == (0, 2)
+
+    def test_wire_roundtrip(self):
+        view = View(gid=GID, view_id=5, members=(P0, P1))
+        msg = Message(v=view.to_value())
+        decoded = View.from_value(Message.decode(msg.encode())["v"])
+        assert decoded == view
+
+    def test_successor_same_members_bumps_id(self):
+        view = View(gid=GID, view_id=3, members=(P0,))
+        nxt = view.successor_same_members()
+        assert nxt.view_id == 4 and nxt.members == view.members
+
+
+class TestVectorClock:
+    def test_increment_and_get(self):
+        vc = VectorClock()
+        assert vc.get(P0) == 0
+        assert vc.increment(P0) == 1
+        assert vc.increment(P0) == 2
+        assert vc.get(P0) == 2
+
+    def test_entry_ignores_entry_byte(self):
+        vc = VectorClock()
+        vc.increment(P0.with_entry(5))
+        assert vc.get(P0) == 1
+
+    def test_merge_is_pointwise_max(self):
+        a, b = VectorClock(), VectorClock()
+        a.set(P0, 3)
+        a.set(P1, 1)
+        b.set(P1, 5)
+        a.merge(b)
+        assert a.get(P0) == 3 and a.get(P1) == 5
+
+    def test_dominates(self):
+        a, b = VectorClock(), VectorClock()
+        a.set(P0, 2)
+        b.set(P0, 1)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        b.set(P1, 1)
+        assert not a.dominates(b)
+
+    def test_dominates_with_restriction(self):
+        a, b = VectorClock(), VectorClock()
+        b.set(P0, 1)
+        b.set(P1, 9)
+        a.set(P0, 1)
+        assert a.dominates(b, restrict_to=[P0])
+        assert not a.dominates(b)
+
+    def test_restrict_drops_other_entries(self):
+        vc = VectorClock()
+        vc.set(P0, 1)
+        vc.set(P1, 2)
+        restricted = vc.restrict([P0])
+        assert restricted.get(P0) == 1 and restricted.get(P1) == 0
+
+    def test_equality_treats_missing_as_zero(self):
+        a, b = VectorClock(), VectorClock()
+        a.set(P0, 0)
+        assert a == b
+
+    def test_wire_roundtrip(self):
+        vc = VectorClock()
+        vc.set(P0, 7)
+        msg = Message(vc=vc.to_value())
+        assert VectorClock.from_value(Message.decode(msg.encode())["vc"]) == vc
+
+    def test_context_roundtrip(self):
+        vc = VectorClock()
+        vc.set(P1, 4)
+        ctx = {GID: (3, vc)}
+        msg = Message(ctx=encode_context(ctx))
+        decoded = decode_context(Message.decode(msg.encode())["ctx"])
+        assert decoded[GID][0] == 3
+        assert decoded[GID][1] == vc
+
+
+class TestMessageStore:
+    def test_record_and_dedupe(self):
+        store = MessageStore()
+        assert store.record(0, 1, Message(x=1))
+        assert not store.record(0, 1, Message(x=1))
+        assert store.buffered_count == 1
+
+    def test_have_vector_tracks_contiguity(self):
+        store = MessageStore()
+        store.record(0, 1, Message())
+        store.record(0, 3, Message())  # gap at 2
+        assert store.have_vector() == {0: 1}
+        store.record(0, 2, Message())
+        assert store.have_vector() == {0: 3}
+
+    def test_union_and_missing(self):
+        a, b = MessageStore(), MessageStore()
+        a.record(0, 1, Message())
+        a.record(0, 2, Message())
+        b.record(1, 1, Message())
+        union = MessageStore.union([a.have_vector(), b.have_vector()])
+        assert union == {0: 2, 1: 1}
+        assert a.missing_from(union) == [(1, 1)]
+        assert b.missing_from(union) == [(0, 1), (0, 2)]
+        assert a.complete_for({0: 2})
+        assert not a.complete_for(union)
+
+    def test_trim_stable(self):
+        store = MessageStore()
+        for seq in (1, 2, 3):
+            store.record(0, seq, Message())
+        dropped = store.trim_stable({0: 2})
+        assert dropped == 2
+        assert store.buffered_count == 1
+        assert store.has(0, 3)
+
+    def test_reset_clears_everything(self):
+        store = MessageStore()
+        store.record(0, 1, Message())
+        store.reset()
+        assert store.buffered_count == 0
+        assert store.have_vector() == {}
+
+
+def _cb(sender, seq, ctx=None):
+    msg = Message(cb_sender=sender, cb_seq=seq)
+    if ctx:
+        msg["cb_ctx"] = encode_context(ctx)
+    return msg
+
+
+class TestCausalReceiver:
+    def test_fifo_per_sender(self):
+        rx = CausalReceiver(lambda ctx: True)
+        assert rx.offer(_cb(P0, 2)) == []          # gap: seq 1 missing
+        delivered = rx.offer(_cb(P0, 1))
+        assert [m["cb_seq"] for m in delivered] == [1, 2]
+
+    def test_senders_independent(self):
+        rx = CausalReceiver(lambda ctx: True)
+        assert len(rx.offer(_cb(P0, 1))) == 1
+        assert len(rx.offer(_cb(P1, 1))) == 1
+
+    def test_context_blocks_until_satisfied(self):
+        satisfied = {"ok": False}
+        rx = CausalReceiver(lambda ctx: satisfied["ok"])
+        vc = VectorClock()
+        vc.set(P1, 1)
+        assert rx.offer(_cb(P0, 1, ctx={GID: (1, vc)})) == []
+        satisfied["ok"] = True
+        assert len(rx.recheck()) == 1
+
+    def test_new_view_resets(self):
+        rx = CausalReceiver(lambda ctx: True)
+        rx.offer(_cb(P0, 1))
+        rx.offer(_cb(P1, 2))  # stuck on gap
+        rx.on_new_view()
+        assert rx.pending_count == 0
+        assert rx.delivered.get(P0) == 0
+        # Sequence numbers restart in the new view.
+        assert len(rx.offer(_cb(P0, 1))) == 1
+
+
+class TestTotalOrder:
+    def test_single_message_flow(self):
+        rx = TotalOrderReceiver(site_id=0)
+        prio = rx.propose((0, 1), Message(x="a"))
+        delivered = rx.finalize((0, 1), prio)
+        assert [m["x"] for m in delivered] == ["a"]
+
+    def test_delivery_blocks_on_unfinalized_lower_priority(self):
+        rx = TotalOrderReceiver(site_id=0)
+        rx.propose((0, 1), Message(x="first"))   # prio (1, 0)
+        rx.propose((1, 1), Message(x="second"))  # prio (2, 0)
+        # Finalizing the *second* at a high priority cannot deliver it:
+        # the first is still unfinalized with a lower proposal.
+        assert rx.finalize((1, 1), (5, 1)) == []
+        delivered = rx.finalize((0, 1), (1, 0))
+        assert [m["x"] for m in delivered] == ["first", "second"]
+
+    def test_same_final_order_at_all_sites(self):
+        sender = TotalOrderSender()
+        messages = {(0, 1): Message(x="m1"), (1, 1): Message(x="m2")}
+        sites = [TotalOrderReceiver(site_id=i) for i in range(3)]
+        finals = {}
+        for ref, msg in messages.items():
+            sender.start(ref, [0, 1, 2])
+            for site in sites:
+                final = sender.offer_proposal(
+                    ref, site.site_id, site.propose(ref, msg))
+                if final is not None:
+                    finals[ref] = final
+        orders = []
+        for site in sites:
+            got = []
+            for ref, final in finals.items():
+                got.extend(m["x"] for m in site.finalize(ref, final))
+            orders.append(got)
+        assert orders[0] == orders[1] == orders[2]
+        assert sorted(orders[0]) == ["m1", "m2"]
+
+    def test_sender_drop_site_completes_collection(self):
+        sender = TotalOrderSender()
+        sender.start((0, 1), [0, 1])
+        assert sender.offer_proposal((0, 1), 0, (1, 0)) is None
+        completed = sender.drop_site(1)
+        assert completed == [((0, 1), (1, 0))]
+
+    def test_force_order_delivers_cut(self):
+        rx = TotalOrderReceiver(site_id=0)
+        rx.propose((0, 1), Message(x="a"))
+        rx.propose((1, 1), Message(x="b"))
+        delivered = rx.force_order([
+            [[1, 1], [7, 1]],
+            [[0, 1], [9, 0]],
+        ])
+        assert [m["x"] for m in delivered] == ["b", "a"]
+        assert rx.pending_count == 0
+
+    def test_duplicate_finalize_is_noop(self):
+        rx = TotalOrderReceiver(site_id=0)
+        prio = rx.propose((0, 1), Message(x="a"))
+        rx.finalize((0, 1), prio)
+        assert rx.finalize((0, 1), prio) == []
+
+    def test_pending_state_snapshot(self):
+        rx = TotalOrderReceiver(site_id=2)
+        rx.propose((0, 1), Message())
+        state = rx.pending_state()
+        assert state == [{"ref": [0, 1], "prio": [1, 2], "final": False}]

@@ -1,0 +1,202 @@
+"""Unit tests for the site-view membership agent (repro.fd.siteview).
+
+The agents are wired to each other through a tiny in-memory message bus
+with per-hop delay, isolating the protocol from the full transport stack.
+"""
+
+import pytest
+
+from repro.fd import SiteView, SiteViewAgent, SiteViewConfig
+from repro.msg import Message
+from repro.sim import Simulator
+
+
+class Bus:
+    """Direct agent-to-agent delivery with a fixed delay."""
+
+    def __init__(self, sim, delay=0.01):
+        self.sim = sim
+        self.delay = delay
+        self.agents = {}
+        self.cut = set()  # (src, dst) pairs that drop messages
+
+    def sender_for(self, src):
+        def send(dst, msg):
+            if (src, dst) in self.cut:
+                return
+            agent = self.agents.get(dst)
+            if agent is not None:
+                data = msg.encode()  # exercise codec fidelity
+                self.sim.call_after(
+                    self.delay, agent.handle, src, Message.decode(data))
+        return send
+
+
+def make_agents(sim, n=3, config=None):
+    bus = Bus(sim)
+    views = {i: [] for i in range(n)}
+    destroyed = []
+    agents = {}
+    for i in range(n):
+        agents[i] = SiteViewAgent(
+            sim, i, incarnation=0, all_sites=list(range(n)),
+            send=bus.sender_for(i),
+            on_view=lambda v, dep, joi, i=i: views[i].append((v, dep, joi)),
+            self_destruct=lambda i=i: destroyed.append(i),
+            config=config or SiteViewConfig(),
+        )
+        bus.agents[i] = agents[i]
+    return bus, agents, views, destroyed
+
+
+def genesis_all(agents):
+    members = [(i, 0) for i in agents]
+    for agent in agents.values():
+        agent.genesis(members)
+
+
+class TestGenesisAndQueries:
+    def test_genesis_installs_view_one(self):
+        sim = Simulator()
+        _, agents, views, _ = make_agents(sim)
+        genesis_all(agents)
+        for i in agents:
+            assert agents[i].view.view_id == 1
+            assert agents[i].view.sites() == (0, 1, 2)
+            assert agents[i].in_view
+
+    def test_oldest_site_is_coordinator(self):
+        sim = Simulator()
+        _, agents, _, _ = make_agents(sim)
+        genesis_all(agents)
+        assert agents[0].is_coordinator()
+        assert not agents[1].is_coordinator()
+
+
+class TestRemoval:
+    def test_coordinator_removes_suspected_site(self):
+        sim = Simulator()
+        bus, agents, views, _ = make_agents(sim)
+        genesis_all(agents)
+        agents[0].suspect(2)
+        sim.run(until=5.0)
+        for i in (0, 1):
+            assert agents[i].view.sites() == (0, 1)
+            assert agents[i].view.view_id == 2
+
+    def test_member_forwards_suspicion_to_coordinator(self):
+        sim = Simulator()
+        bus, agents, views, _ = make_agents(sim)
+        genesis_all(agents)
+        agents[1].suspect(2)  # site 1 is not the coordinator
+        sim.run(until=5.0)
+        assert agents[0].view.sites() == (0, 1)
+
+    def test_next_oldest_takes_over_when_coordinator_dies(self):
+        sim = Simulator()
+        bus, agents, views, _ = make_agents(sim)
+        genesis_all(agents)
+        # Site 1 believes 0 is dead (and only site 1 acts).
+        agents[1].suspect(0)
+        sim.run(until=10.0)
+        assert agents[1].view.sites() == (1, 2)
+        assert agents[1].is_coordinator()
+
+    def test_excluded_live_site_self_destructs_on_commit(self):
+        sim = Simulator()
+        bus, agents, views, destroyed = make_agents(sim)
+        genesis_all(agents)
+        agents[0].suspect(2)
+        sim.run(until=5.0)
+        # Agent 2 is alive and receives the commit excluding it.
+        assert destroyed == [2]
+
+    def test_batched_suspicions_one_view_change(self):
+        sim = Simulator()
+        bus, agents, views, _ = make_agents(sim, n=4)
+        genesis_all(agents)
+        agents[0].suspect(2)
+        agents[0].suspect(3)
+        sim.run(until=5.0)
+        assert agents[0].view.sites() == (0, 1)
+        # One batched change, not two: view id went 1 -> 2 (or at most 3).
+        assert agents[0].view.view_id <= 3
+
+
+class TestQuorum:
+    def test_minority_stalls_instead_of_forming_view(self):
+        sim = Simulator()
+        bus, agents, views, _ = make_agents(sim, n=3)
+        genesis_all(agents)
+        # Site 2 is partitioned away and suspects both others.
+        bus.cut = {(2, 0), (0, 2), (2, 1), (1, 2)}
+        agents[2].suspect(0)
+        agents[2].suspect(1)
+        sim.run(until=20.0)
+        assert agents[2].view.view_id == 1  # never installed a new view
+        assert sim.trace.value("sv.stalls") >= 1
+
+    def test_half_of_two_may_proceed(self):
+        sim = Simulator()
+        bus, agents, views, _ = make_agents(sim, n=2)
+        genesis_all(agents)
+        agents[0].suspect(1)
+        sim.run(until=5.0)
+        assert agents[0].view.sites() == (0,)
+
+
+class TestJoin:
+    def test_new_site_admitted_via_join_loop(self):
+        sim = Simulator()
+        bus, agents, views, _ = make_agents(sim, n=3)
+        # Genesis with only sites 0 and 1.
+        for i in (0, 1):
+            agents[i].genesis([(0, 0), (1, 0)])
+        agents[2].request_join()
+        sim.run(until=10.0)
+        assert agents[0].view.sites() == (0, 1, 2)
+        assert agents[2].in_view
+        # Joiner is youngest: appended at the end.
+        assert agents[0].view.members[-1] == (2, 0)
+
+    def test_duplicate_join_requests_idempotent(self):
+        sim = Simulator()
+        bus, agents, views, _ = make_agents(sim, n=2)
+        agents[0].genesis([(0, 0)])
+        agents[1].request_join()
+        sim.run(until=20.0)
+        final = agents[0].view
+        assert final.sites() == (0, 1)
+        # Repeated join-loop requests did not create repeated views.
+        assert final.view_id == 2
+
+    def test_lone_restarter_bootstraps_singleton(self):
+        sim = Simulator()
+        config = SiteViewConfig(bootstrap_timeout=3.0)
+        bus, agents, views, _ = make_agents(sim, n=2, config=config)
+        # Nobody has a view; site 0 starts its join loop alone.
+        agents[0].request_join()
+        sim.run(until=10.0)
+        assert agents[0].view is not None
+        assert agents[0].view.sites() == (0,)
+
+    def test_higher_numbered_site_defers_to_lower(self):
+        sim = Simulator()
+        config = SiteViewConfig(bootstrap_timeout=3.0)
+        bus, agents, views, _ = make_agents(sim, n=2, config=config)
+        agents[0].request_join()
+        agents[1].request_join()
+        sim.run(until=20.0)
+        # Site 0 bootstraps; site 1 joins it.
+        assert agents[0].view.sites() == (0, 1)
+        assert agents[1].view.sites() == (0, 1)
+        assert agents[0].view.members[0] == (0, 0)
+
+
+class TestSiteViewValue:
+    def test_incarnation_lookup(self):
+        view = SiteView(view_id=3, members=((0, 1), (2, 5)))
+        assert view.incarnation_of(2) == 5
+        assert view.incarnation_of(9) is None
+        assert view.contains_site(0)
+        assert view.coordinator_site() == 0

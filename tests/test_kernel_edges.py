@@ -1,0 +1,160 @@
+"""Edge-case coverage for the kernel and toolkit stubs."""
+
+import pytest
+
+from repro import IsisCluster, Message
+from repro.errors import SiteDown
+from repro.msg import make_group_address
+from repro.net.packet import KIND_DATA, Frame
+
+
+def test_undecodable_transport_message_counted_not_fatal():
+    system = IsisCluster(n_sites=2, seed=100)
+    system.run_for(1.0)
+    # Inject garbage bytes at the transport level.
+    system.site(0).transport.send(1, b"\xde\xad\xbe\xef")
+    system.run_for(2.0)
+    assert system.sim.trace.value("kernel.undecodable") == 1
+    assert system.kernel(1).alive
+
+
+def test_unknown_protocol_counted_not_fatal():
+    system = IsisCluster(n_sites=2, seed=101)
+    system.run_for(1.0)
+    system.kernel(0).send_to_site(1, Message(_proto="zz.unknown", x=1))
+    system.run_for(2.0)
+    assert system.sim.trace.value("kernel.unknown_proto") == 1
+
+
+def test_send_to_down_site_rejects_promise():
+    system = IsisCluster(n_sites=2, seed=102)
+    system.run_for(1.0)
+    system.crash_site(0)
+    kernel = system.kernel(1)
+    # The local site is up, sending into the void is fine (retransmits
+    # until the view change resets the channel) — but sending FROM a
+    # dead site must reject.
+    dead_site = system.site(0)
+    with pytest.raises(SiteDown):
+        dead_site.send_bytes(1, b"x")
+
+
+def test_stub_raises_when_site_has_no_kernel():
+    system = IsisCluster(n_sites=2, seed=103)
+    process, isis = system.spawn(0, "app")
+    system.crash_site(0)
+
+    # The process is dead; the stub's hop detects the missing kernel.
+    from repro.errors import SiteDown as SD
+    with pytest.raises(SD):
+        isis._kernel()
+
+
+def test_group_data_for_unknown_group_buffers_quietly():
+    """A data message for a group we never heard of must not crash the
+    kernel (it buffers as pre-view traffic of a future welcome)."""
+    system = IsisCluster(n_sites=2, seed=104)
+    system.run_for(1.0)
+    ghost = make_group_address(0, 42)
+    env = Message(_proto="g.cb", gid=ghost, view=3, origin=0, gseq=1,
+                  m=Message(x=1), entry=16, cb_sender=ghost, cb_seq=1)
+    system.kernel(0).send_to_site(1, env)
+    system.run_for(2.0)
+    assert system.kernel(1).alive
+    engine = system.kernel(1).engines.get(ghost.process())
+    assert engine is not None and not engine.installed
+
+
+def test_stale_group_message_dropped():
+    system = IsisCluster(n_sites=2, seed=105)
+    members = []
+    deliveries = []
+    p0, isis0 = system.spawn(0, "m0")
+    p0.bind(16, lambda msg: deliveries.append(msg))
+    gid_box = {}
+
+    def create():
+        gid_box["gid"] = yield isis0.pg_create("edge")
+
+    p0.spawn(create(), "create")
+    system.run_for(3.0)
+    engine = system.kernel(0).engines[gid_box["gid"].process()]
+    # Hand the engine a message from an obsolete view.
+    env = Message(_proto="g.cb", gid=gid_box["gid"], view=0, origin=1,
+                  gseq=1, m=Message(x=1), entry=16,
+                  cb_sender=p0.address.process(), cb_seq=1)
+    engine.handle(1, env)
+    system.run_for(2.0)
+    assert deliveries == []
+    assert system.sim.trace.value("engine.stale_view_drop") == 1
+
+
+def test_heartbeats_flow_between_sites():
+    system = IsisCluster(n_sites=2, seed=106)
+    system.run_for(5.0)
+    assert system.sim.trace.value("fd.suspicions") == 0
+    # Both monitors have fresh arrival state.
+    for site in (0, 1):
+        assert not system.kernel(site).heartbeat.suspected
+
+
+def test_loopback_send_pays_encoding():
+    """send_to_site to self still round-trips the codec (fidelity)."""
+    system = IsisCluster(n_sites=1, seed=107)
+    system.run_for(1.0)
+    got = []
+    system.kernel(0).register_service("t.", lambda src, msg: got.append(
+        (src, msg["payload"])))
+    system.kernel(0).send_to_site(0, Message(_proto="t.x", payload=b"\x00\x01"))
+    system.run_for(1.0)
+    assert got == [(0, b"\x00\x01")]
+
+
+def test_second_member_join_same_site():
+    """Two members of one group on the same site share the engine."""
+    system = IsisCluster(n_sites=2, seed=108)
+    got = {"a": [], "b": []}
+    pa, isis_a = system.spawn(0, "a")
+    pb, isis_b = system.spawn(0, "b")
+    pa.bind(16, lambda msg: got["a"].append(msg["q"]))
+    pb.bind(16, lambda msg: got["b"].append(msg["q"]))
+    gid_box = {}
+
+    def create():
+        gid_box["gid"] = yield isis_a.pg_create("samesite")
+
+    pa.spawn(create(), "create")
+    system.run_for(3.0)
+
+    def join():
+        yield isis_b.pg_join(gid_box["gid"])
+
+    pb.spawn(join(), "join")
+    system.run_for(30.0)
+
+    def send():
+        yield isis_a.cbcast(gid_box["gid"], 16, q="both")
+
+    pa.spawn(send(), "send")
+    system.run_for(10.0)
+    assert got["a"] == ["both"]
+    assert got["b"] == ["both"]
+    # One engine serves both local members.
+    assert len(system.kernel(0).engines) == 1
+
+
+def test_cluster_restart_after_total_failure():
+    """All sites crash; the site-view bootstrap reforms the system."""
+    system = IsisCluster(n_sites=3, seed=109)
+    system.run_for(5.0)
+    for site in range(3):
+        system.crash_site(site)
+    system.run_for(5.0)
+    for site in range(3):
+        system.restart_site(site)
+    system.run_for(120.0)
+    views = [system.kernel(s).site_view for s in range(3)]
+    assert all(v is not None for v in views)
+    assert all(set(v.sites()) == {0, 1, 2} for v in views)
+    # New incarnations everywhere.
+    assert all(v.incarnation_of(s) == 1 for v in views for s in v.sites())

@@ -1,0 +1,83 @@
+"""Unit tests for the 8-byte address scheme (repro.msg.address)."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.msg import (
+    ADDRESS_SIZE,
+    Address,
+    make_group_address,
+    make_process_address,
+)
+
+
+def test_pack_is_eight_bytes():
+    addr = make_process_address(3, 1, 42, entry=7)
+    assert len(addr.pack()) == ADDRESS_SIZE
+
+
+def test_pack_unpack_roundtrip():
+    addr = make_process_address(65535, 255, 65535, entry=255)
+    assert Address.unpack(addr.pack()) == addr
+
+
+def test_group_flag_roundtrip():
+    gid = make_group_address(2, 9)
+    assert gid.is_group
+    assert Address.unpack(gid.pack()).is_group
+
+
+def test_null_address():
+    null = Address.null()
+    assert null.is_null
+    assert Address.unpack(null.pack()).is_null
+
+
+def test_unpack_rejects_wrong_length():
+    with pytest.raises(AddressError):
+        Address.unpack(b"\x00" * 7)
+
+
+def test_field_range_validation():
+    with pytest.raises(AddressError):
+        Address(site=70000)
+    with pytest.raises(AddressError):
+        Address(incarnation=300)
+    with pytest.raises(AddressError):
+        Address(local_id=-1)
+    with pytest.raises(AddressError):
+        Address(entry=256)
+
+
+def test_with_entry_changes_only_entry():
+    addr = make_process_address(1, 0, 5, entry=0)
+    entry9 = addr.with_entry(9)
+    assert entry9.entry == 9
+    assert entry9.process() == addr.process()
+
+
+def test_same_process_ignores_entry():
+    a = make_process_address(1, 2, 3, entry=4)
+    b = make_process_address(1, 2, 3, entry=200)
+    c = make_process_address(1, 2, 4, entry=4)
+    assert a.same_process(b)
+    assert not a.same_process(c)
+
+
+def test_incarnation_distinguishes_restarted_site():
+    before = make_process_address(1, 0, 3)
+    after = make_process_address(1, 1, 3)
+    assert not before.same_process(after)
+
+
+def test_addresses_are_hashable_and_ordered():
+    a = make_process_address(1, 0, 1)
+    b = make_process_address(1, 0, 2)
+    assert len({a, b, a}) == 2
+    assert sorted([b, a]) == [a, b]
+
+
+def test_str_forms():
+    assert "grp" in str(make_group_address(1, 2))
+    assert "proc" in str(make_process_address(1, 0, 2))
+    assert str(Address.null()) == "<null>"

@@ -1,0 +1,148 @@
+"""Unit tests for the field-structured message codec (repro.msg.message)."""
+
+import pytest
+
+from repro.errors import CodecError
+from repro.msg import (
+    F_SENDER,
+    Message,
+    make_group_address,
+    make_process_address,
+    system_copy,
+)
+
+
+def test_set_get_delete_fields():
+    msg = Message()
+    msg["query"] = "color=red"
+    assert msg["query"] == "color=red"
+    assert "query" in msg
+    del msg["query"]
+    assert "query" not in msg
+    with pytest.raises(KeyError):
+        _ = msg["query"]
+
+
+def test_constructor_kwargs():
+    msg = Message(a=1, b="two")
+    assert msg["a"] == 1 and msg["b"] == "two"
+
+
+def test_get_with_default():
+    msg = Message()
+    assert msg.get("missing", 42) == 42
+
+
+def test_every_field_type_roundtrips():
+    addr = make_process_address(1, 2, 3, entry=4)
+    inner = Message(deep="value")
+    msg = Message()
+    msg["none"] = None
+    msg["bool"] = True
+    msg["int"] = -(2**40)
+    msg["float"] = 3.14159
+    msg["str"] = "héllo wörld"
+    msg["bytes"] = b"\x00\x01\xff"
+    msg["addr"] = addr
+    msg["nested"] = inner
+    msg["list"] = [1, "two", None, addr, [3.0, False]]
+    msg["dict"] = {"k1": 1, "k2": [b"x"], "k3": {"n": None}}
+    decoded = Message.decode(msg.encode())
+    assert decoded["none"] is None
+    assert decoded["bool"] is True
+    assert decoded["int"] == -(2**40)
+    assert decoded["float"] == pytest.approx(3.14159)
+    assert decoded["str"] == "héllo wörld"
+    assert decoded["bytes"] == b"\x00\x01\xff"
+    assert decoded["addr"] == addr
+    assert decoded["nested"]["deep"] == "value"
+    assert decoded["list"] == [1, "two", None, addr, [3.0, False]]
+    assert decoded["dict"] == {"k1": 1, "k2": [b"x"], "k3": {"n": None}}
+
+
+def test_tuple_decodes_as_list():
+    msg = Message(t=(1, 2, 3))
+    assert Message.decode(msg.encode())["t"] == [1, 2, 3]
+
+
+def test_huge_int_rejected():
+    msg = Message(n=2**70)
+    with pytest.raises(CodecError):
+        msg.encode()
+
+
+def test_unencodable_type_rejected():
+    msg = Message(obj=object())
+    with pytest.raises(CodecError):
+        msg.encode()
+
+
+def test_non_string_dict_key_rejected():
+    msg = Message(d={1: "x"})
+    with pytest.raises(CodecError):
+        msg.encode()
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(CodecError):
+        Message.decode(b"\x00\x01\x02")
+    with pytest.raises(CodecError):
+        Message.decode(b"")
+
+
+def test_decode_rejects_truncation():
+    raw = Message(payload=b"x" * 100).encode()
+    with pytest.raises(CodecError):
+        Message.decode(raw[:-5])
+
+
+def test_decode_rejects_trailing_bytes():
+    raw = Message(a=1).encode()
+    with pytest.raises(CodecError):
+        Message.decode(raw + b"\x00")
+
+
+def test_size_bytes_tracks_mutation():
+    msg = Message(a=1)
+    size_before = msg.size_bytes
+    msg["b"] = "x" * 100
+    assert msg.size_bytes > size_before + 100
+
+
+def test_copy_is_independent():
+    msg = Message(a=1)
+    dup = msg.copy()
+    dup["b"] = 2
+    assert "b" not in msg
+
+
+def test_system_copy_strips_system_fields():
+    msg = Message(payload="keep")
+    msg[F_SENDER] = make_process_address(1, 0, 1)
+    stripped = system_copy(msg)
+    assert "payload" in stripped
+    assert F_SENDER not in stripped
+
+
+def test_system_accessors():
+    gid = make_group_address(1, 1)
+    sender = make_process_address(2, 0, 7)
+    msg = Message()
+    msg["_sender"] = sender
+    msg["_dests"] = [gid]
+    msg["_session"] = 99
+    msg["_entry"] = 5
+    msg["_group"] = gid
+    msg["_view_id"] = 3
+    assert msg.sender == sender
+    assert msg.dests == [gid]
+    assert msg.session == 99
+    assert msg.entry == 5
+    assert msg.group == gid
+    assert msg.view_id == 3
+
+
+def test_empty_field_name_rejected():
+    msg = Message()
+    with pytest.raises(CodecError):
+        msg[""] = 1

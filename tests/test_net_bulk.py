@@ -1,0 +1,63 @@
+"""Tests for the bulk (TCP-like) transfer channel."""
+
+import pytest
+
+from repro.errors import SiteDown
+from repro.net import BulkChannel, BulkConfig, Lan
+from repro.sim import Cpu, Simulator
+
+
+def setup_bulk(sim, bandwidth=1_250_000.0):
+    lan = Lan(sim)
+    lan.attach(0, lambda f: None)
+    lan.attach(1, lambda f: None)
+    bulk = BulkChannel(sim, lan, BulkConfig(bandwidth=bandwidth))
+    return lan, bulk, Cpu(sim, "cpu0"), Cpu(sim, "cpu1")
+
+
+def test_transfer_delivers_data():
+    sim = Simulator()
+    _, bulk, cpu0, cpu1 = setup_bulk(sim)
+    data = b"S" * 100_000
+    promise = bulk.transfer(0, 1, data, cpu0, cpu1)
+    sim.run()
+    assert promise.value == data
+
+
+def test_transfer_time_is_bandwidth_bound():
+    sim = Simulator()
+    _, bulk, cpu0, cpu1 = setup_bulk(sim, bandwidth=1_000_000.0)
+    data = b"x" * 1_000_000  # 1 MB at 1 MB/s ~ 1 second + setup
+    done_at = []
+    promise = bulk.transfer(0, 1, data, cpu0, cpu1)
+    promise.add_done_callback(lambda p: done_at.append(sim.now))
+    sim.run()
+    assert done_at[0] == pytest.approx(1.0, rel=0.2)
+
+
+def test_transfer_fails_if_receiver_crashes():
+    sim = Simulator()
+    lan, bulk, cpu0, cpu1 = setup_bulk(sim)
+    promise = bulk.transfer(0, 1, b"y" * 500_000, cpu0, cpu1)
+    sim.call_after(0.1, lan.detach, 1)
+    sim.run()
+    assert promise.rejected
+    assert isinstance(promise.exception, SiteDown)
+
+
+def test_transfer_fails_if_sender_crashes():
+    sim = Simulator()
+    lan, bulk, cpu0, cpu1 = setup_bulk(sim)
+    promise = bulk.transfer(0, 1, b"z" * 500_000, cpu0, cpu1)
+    sim.call_after(0.1, lan.detach, 0)
+    sim.run()
+    assert promise.rejected
+
+
+def test_bulk_counters():
+    sim = Simulator()
+    _, bulk, cpu0, cpu1 = setup_bulk(sim)
+    bulk.transfer(0, 1, b"a" * 1000, cpu0, cpu1)
+    sim.run()
+    assert sim.trace.value("bulk.transfers") == 1
+    assert sim.trace.value("bulk.bytes") == 1000

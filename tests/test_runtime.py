@@ -1,0 +1,232 @@
+"""Unit tests for sites, processes, programs and stable storage."""
+
+import pytest
+
+from repro.errors import IsisError, SiteDown, TaskKilled
+from repro.msg import Message
+from repro.runtime import Cluster, Site
+from repro.sim import Simulator, sleep
+
+
+def make_cluster(n=2):
+    sim = Simulator()
+    cluster = Cluster(sim, n_sites=n)
+    cluster.boot_all()
+    return sim, cluster
+
+
+class TestSiteLifecycle:
+    def test_boot_assigns_incarnations(self):
+        sim, cluster = make_cluster()
+        assert cluster.site(0).incarnation == 0
+        cluster.site(0).crash()
+        cluster.site(0).boot()
+        assert cluster.site(0).incarnation == 1
+
+    def test_double_boot_rejected(self):
+        sim, cluster = make_cluster()
+        with pytest.raises(IsisError):
+            cluster.site(0).boot()
+
+    def test_crash_kills_processes(self):
+        sim, cluster = make_cluster()
+        site = cluster.site(0)
+        process = site.spawn_process("app")
+        site.crash()
+        assert not process.alive
+        assert not site.up
+
+    def test_crash_is_idempotent(self):
+        sim, cluster = make_cluster()
+        cluster.site(0).crash()
+        cluster.site(0).crash()
+
+    def test_spawn_on_down_site_rejected(self):
+        sim, cluster = make_cluster()
+        cluster.site(0).crash()
+        with pytest.raises(SiteDown):
+            cluster.site(0).spawn_process("app")
+
+    def test_boot_hooks_run_each_boot(self):
+        sim = Simulator()
+        cluster = Cluster(sim, n_sites=1)
+        boots = []
+        cluster.site(0).on_boot(lambda s: boots.append(s.incarnation))
+        cluster.site(0).boot()
+        cluster.site(0).crash()
+        cluster.site(0).boot()
+        assert boots == [0, 1]
+
+    def test_stable_store_survives_crash(self):
+        sim, cluster = make_cluster()
+        site = cluster.site(0)
+        site.stable.write("checkpoint", b"state-v1")
+        sim.run()
+        site.crash()
+        site.boot()
+        assert site.stable.read("checkpoint") == b"state-v1"
+
+    def test_up_sites_tracks_membership(self):
+        sim, cluster = make_cluster(3)
+        assert cluster.up_sites() == [0, 1, 2]
+        cluster.site(1).crash()
+        assert cluster.up_sites() == [0, 2]
+
+
+class TestProcess:
+    def test_addresses_unique_and_site_scoped(self):
+        sim, cluster = make_cluster()
+        p1 = cluster.site(0).spawn_process("a")
+        p2 = cluster.site(0).spawn_process("b")
+        p3 = cluster.site(1).spawn_process("c")
+        assert p1.address != p2.address
+        assert p1.address.site == 0 and p3.address.site == 1
+
+    def test_restarted_site_mints_new_incarnation_addresses(self):
+        sim, cluster = make_cluster()
+        before = cluster.site(0).spawn_process("a").address
+        cluster.site(0).crash()
+        cluster.site(0).boot()
+        after = cluster.site(0).spawn_process("a").address
+        assert before.incarnation != after.incarnation
+
+    def test_deliver_dispatches_to_entry(self):
+        sim, cluster = make_cluster()
+        process = cluster.site(0).spawn_process("svc")
+        got = []
+        process.bind(16, lambda msg: got.append(msg["q"]))
+        msg = Message(q="hello", _entry=16)
+        process.deliver(msg)
+        assert got == ["hello"]
+
+    def test_generator_handler_runs_as_task(self):
+        sim, cluster = make_cluster()
+        process = cluster.site(0).spawn_process("svc")
+        got = []
+
+        def handler(msg):
+            yield sleep(sim, 1.0)
+            got.append(msg["q"])
+
+        process.bind(16, handler)
+        process.deliver(Message(q="async", _entry=16))
+        assert got == []
+        sim.run()
+        assert got == ["async"]
+
+    def test_unbound_entry_drops_message(self):
+        sim, cluster = make_cluster()
+        process = cluster.site(0).spawn_process("svc")
+        process.deliver(Message(_entry=99))
+        assert sim.trace.value("process.dropped.nohandler") == 1
+
+    def test_filter_can_absorb_message(self):
+        sim, cluster = make_cluster()
+        process = cluster.site(0).spawn_process("svc")
+        got = []
+        process.bind(16, lambda msg: got.append(msg))
+        process.add_filter(lambda msg: None if msg.get("bad") else msg)
+        process.deliver(Message(bad=True, _entry=16))
+        process.deliver(Message(bad=False, _entry=16))
+        assert len(got) == 1
+
+    def test_filter_can_rewrite_message(self):
+        sim, cluster = make_cluster()
+        process = cluster.site(0).spawn_process("svc")
+        got = []
+        process.bind(16, lambda msg: got.append(msg["tag"]))
+
+        def stamp(msg):
+            msg["tag"] = "stamped"
+            return msg
+
+        process.add_filter(stamp)
+        process.deliver(Message(_entry=16))
+        assert got == ["stamped"]
+
+    def test_kill_terminates_tasks_with_cleanup(self):
+        sim, cluster = make_cluster()
+        process = cluster.site(0).spawn_process("svc")
+        cleanup = []
+
+        def body():
+            try:
+                yield sleep(sim, 100.0)
+            finally:
+                cleanup.append("ran")
+
+        process.spawn(body())
+        sim.call_after(1.0, process.kill)
+        sim.run()
+        assert cleanup == ["ran"]
+        assert process.task_count == 0
+
+    def test_dead_process_drops_deliveries(self):
+        sim, cluster = make_cluster()
+        process = cluster.site(0).spawn_process("svc")
+        process.kill()
+        process.deliver(Message(_entry=16))
+        assert sim.trace.value("process.dropped.dead") == 1
+
+    def test_death_watchers_fire_once(self):
+        sim, cluster = make_cluster()
+        process = cluster.site(0).spawn_process("svc")
+        deaths = []
+        process.watch_death(lambda p: deaths.append(p.name))
+        process.kill()
+        process.kill()
+        assert deaths == ["svc"]
+
+
+class TestPrograms:
+    def test_run_program_instantiates(self):
+        sim, cluster = make_cluster()
+        started = []
+
+        def factory(process, greeting):
+            started.append((process.site.site_id, greeting))
+
+        cluster.programs.register("greeter", factory)
+        cluster.site(1).run_program("greeter", "hi")
+        assert started == [(1, "hi")]
+
+    def test_unknown_program_rejected(self):
+        sim, cluster = make_cluster()
+        with pytest.raises(IsisError):
+            cluster.site(0).run_program("ghost")
+
+
+class TestStableStore:
+    def test_logs_append_in_order(self):
+        sim, cluster = make_cluster()
+        store = cluster.site(0).stable
+        store.append("log", b"r1")
+        store.append("log", b"r2")
+        sim.run()
+        assert store.read_log("log") == [b"r1", b"r2"]
+
+    def test_truncate_after_checkpoint(self):
+        sim, cluster = make_cluster()
+        store = cluster.site(0).stable
+        for i in range(5):
+            store.append("log", f"r{i}".encode())
+        sim.run()
+        store.truncate_log("log", keep_from=3)
+        assert store.read_log("log") == [b"r3", b"r4"]
+
+    def test_write_latency_is_charged(self):
+        sim, cluster = make_cluster()
+        store = cluster.site(0).stable
+        done = []
+        store.write("k", b"v").add_done_callback(lambda p: done.append(sim.now))
+        sim.run()
+        assert done[0] == pytest.approx(store.write_latency)
+
+    def test_keys_prefix_listing(self):
+        sim, cluster = make_cluster()
+        store = cluster.site(0).stable
+        store.write("grp/a", b"1")
+        store.write("grp/b", b"2")
+        store.write("other", b"3")
+        sim.run()
+        assert store.keys("grp/") == ["grp/a", "grp/b"]

@@ -1,0 +1,154 @@
+"""Unit tests for the discrete-event kernel (repro.sim.core)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_call_after_orders_by_time():
+    sim = Simulator()
+    seen = []
+    sim.call_after(2.0, seen.append, "b")
+    sim.call_after(1.0, seen.append, "a")
+    sim.call_after(3.0, seen.append, "c")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_ties_break_by_schedule_order():
+    sim = Simulator()
+    seen = []
+    for tag in ("first", "second", "third"):
+        sim.call_after(1.0, seen.append, tag)
+    sim.run()
+    assert seen == ["first", "second", "third"]
+
+
+def test_call_soon_runs_at_current_time():
+    sim = Simulator()
+    times = []
+    sim.call_after(5.0, lambda: sim.call_soon(lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [5.0]
+
+
+def test_scheduling_in_the_past_raises():
+    sim = Simulator()
+    sim.call_after(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_after(-0.1, lambda: None)
+
+
+def test_cancelled_timer_does_not_fire():
+    sim = Simulator()
+    seen = []
+    timer = sim.call_after(1.0, seen.append, "nope")
+    timer.cancel()
+    sim.call_after(2.0, seen.append, "yes")
+    sim.run()
+    assert seen == ["yes"]
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    timer = sim.call_after(1.0, lambda: None)
+    timer.cancel()
+    timer.cancel()
+    sim.run()
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    seen = []
+    sim.call_after(1.0, seen.append, "early")
+    sim.call_after(10.0, seen.append, "late")
+    sim.run(until=5.0)
+    assert seen == ["early"]
+    assert sim.now == 5.0
+    sim.run()
+    assert seen == ["early", "late"]
+
+
+def test_run_until_advances_clock_even_with_no_events():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_max_events_limits_execution():
+    sim = Simulator()
+    seen = []
+    for i in range(10):
+        sim.call_after(float(i), seen.append, i)
+    sim.run(max_events=3)
+    assert seen == [0, 1, 2]
+
+
+def test_nested_scheduling_during_run():
+    sim = Simulator()
+    seen = []
+
+    def outer():
+        seen.append("outer")
+        sim.call_after(1.0, seen.append, "inner")
+
+    sim.call_after(1.0, outer)
+    sim.run()
+    assert seen == ["outer", "inner"]
+    assert sim.now == 2.0
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+    errors = []
+
+    def nested():
+        try:
+            sim.run()
+        except SimulationError as err:
+            errors.append(err)
+
+    sim.call_after(1.0, nested)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_pending_events_counts_only_live_timers():
+    sim = Simulator()
+    t1 = sim.call_after(1.0, lambda: None)
+    sim.call_after(2.0, lambda: None)
+    t1.cancel()
+    assert sim.pending_events == 1
+
+
+def test_rng_streams_are_deterministic_and_independent():
+    sim_a = Simulator(seed=7)
+    sim_b = Simulator(seed=7)
+    draws_a = [sim_a.rng("x").random() for _ in range(5)]
+    draws_b = [sim_b.rng("x").random() for _ in range(5)]
+    assert draws_a == draws_b
+    # A different stream name gives a different sequence.
+    assert draws_a != [Simulator(seed=7).rng("y").random() for _ in range(5)]
+
+
+def test_rng_stream_isolation_from_creation_order():
+    sim_a = Simulator(seed=3)
+    sim_a.rng("first").random()
+    value_a = sim_a.rng("second").random()
+    sim_b = Simulator(seed=3)
+    value_b = sim_b.rng("second").random()
+    assert value_a == value_b
