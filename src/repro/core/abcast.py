@@ -47,7 +47,8 @@ class TotalOrderReceiver:
         self.site_id = site_id
         self._counter = 0
         self._queue: Dict[MsgRef, _QueueEntry] = {}
-        self._delivered_refs: set[MsgRef] = set()
+        #: ref -> final priority it was delivered with.
+        self._delivered_refs: Dict[MsgRef, Priority] = {}
 
     # -- phase 1: propose ---------------------------------------------------
     def propose(self, ref: MsgRef, msg: Message) -> Priority:
@@ -80,7 +81,7 @@ class TotalOrderReceiver:
             if not head.final:
                 break
             del self._queue[head.ref]
-            self._delivered_refs.add(head.ref)
+            self._delivered_refs[head.ref] = head.priority
             out.append(head.msg)
         return out
 
@@ -98,6 +99,15 @@ class TotalOrderReceiver:
 
     def delivered_refs(self) -> List[MsgRef]:
         return sorted(self._delivered_refs)
+
+    def delivered_priority(self, ref: MsgRef) -> Optional[Priority]:
+        """The final priority ``ref`` was delivered with.
+
+        A drain can deliver several queued messages at once; each must be
+        reported (e.g. to a flush) with its *own* final priority, not the
+        priority of the finalize call that unblocked the queue.
+        """
+        return self._delivered_refs.get(ref)
 
     def force_order(self, order: List[Tuple[MsgRef, Priority]]) -> List[Message]:
         """Apply a flush coordinator's final cut ordering.

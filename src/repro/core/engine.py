@@ -1,27 +1,36 @@
 """Per-group protocol engine at one member site's kernel.
 
 One :class:`GroupEngine` exists per (process group × member site).  It
-implements the complete life of a group at that site:
+owns the *membership* side of a group's life — the flush, view
+installation, coordinator duties, local delivery — and drives the
+multicast data path through the layered
+:class:`~repro.core.pipeline.DeliveryPipeline`
+(dissemination → ordering → stability stages):
 
 * **dissemination** — CBCAST/ABCAST envelopes fan out to every member
-  site over the reliable transport; local members receive deliveries
-  through the kernel's intra-site hop;
+  site over the reliable transport, coalesced into ``g.batch`` wire
+  messages when ``IsisConfig.batch_window > 0``; local members receive
+  deliveries through the kernel's intra-site hop;
 * **ordering** — causal (vector clocks) and total (two-phase priority)
   delivery queues;
 * **stability** — every message is buffered until known everywhere, so a
-  flush can refill any member that missed something;
+  flush can refill any member that missed something; have-vectors
+  piggyback on data and ack envelopes so buffers trim continuously;
 * **the flush** — wedging, union cut, refill, agreed ABCAST order,
   event application (view change / user GBCAST / config update);
 * **coordinator duties** — the oldest member's site batches flush
   reasons (joins, removals, GBCASTs), runs the flush, answers join
-  requests, runs periodic stability rounds, and pushes view updates to
+  requests, runs fallback stability rounds, and pushes view updates to
   watcher sites (client kernels with sessions or monitors on the group).
 
-Wire protocol (all messages carry ``gid``):
+Wire protocol (all messages carry ``gid``; ``stab``/``stab_view`` is an
+optional piggybacked have-vector on data and ack envelopes):
 
 ======================= ======================================================
 ``g.cb`` / ``g.ab``     data envelope (view, origin, gseq, payload ``m``)
-``g.abp`` / ``g.abf``   ABCAST proposal / final priority
+``g.batch``             several same-destination data envelopes packed into
+                        one wire message (+ piggybacked ``stab`` have-vector)
+``g.abp`` / ``g.abf``   ABCAST proposal / final priority (+ ``stab``)
 ``g.fl.begin``          wedge request (fid)
 ``g.fl.ok``             participant report: have-vector + ABCAST state
 ``g.fl.expect``         union cut a refilled site must reach
@@ -29,7 +38,8 @@ Wire protocol (all messages carry ``gid``):
 ``g.fl.data``           holder→needy: the messages themselves
 ``g.fl.filled``         needy→coordinator: I hold the union now
 ``g.fl.commit``         the cut order + the event (view / payload)
-``g.stab.q/a/trim``     stability round (garbage-collect buffers)
+``g.stab.q/a/trim``     fallback stability round; unsolicited ``g.stab.a``
+                        announcements push reception state under traffic
 ======================= ======================================================
 """
 
@@ -40,11 +50,9 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 from ..errors import GroupError
 from ..msg.address import Address
 from ..msg.message import Message
-from .abcast import TotalOrderReceiver, TotalOrderSender
-from .cbcast import CausalReceiver
 from .flush import FlushCoordinator, FlushId, FlushReason
+from .pipeline import DeliveryPipeline, _decode_pairs, _encode_pairs
 from .store import MessageStore
-from .vectorclock import VectorClock, encode_context
 from .view import View
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -52,14 +60,6 @@ if TYPE_CHECKING:  # pragma: no cover
 
 CBCAST = "cbcast"
 ABCAST = "abcast"
-
-
-def _encode_pairs(mapping: Dict[int, int]) -> List[List[int]]:
-    return [[k, v] for k, v in sorted(mapping.items())]
-
-
-def _decode_pairs(pairs: List[List[int]]) -> Dict[int, int]:
-    return {k: v for k, v in pairs}
 
 
 class GroupEngine:
@@ -74,14 +74,15 @@ class GroupEngine:
         self.view: Optional[View] = None
         self.installed = False
         self.store = MessageStore()
-        self.causal = CausalReceiver(kernel.check_context)
-        self.total = TotalOrderReceiver(self.site_id)
-        self.tsender = TotalOrderSender()
-        self._send_seq = 0
-        self._cb_counts: Dict[Address, int] = {}
+        #: The layered data path (dissemination → ordering → stability).
+        self.pipeline = DeliveryPipeline(self)
+        # Aliases into the pipeline's ordering stages: the flush protocol
+        # reports and force-orders through the same receiver state.
+        self.causal = self.pipeline.causal.receiver
+        self.total = self.pipeline.total.receiver
+        self.tsender = self.pipeline.total.sender
         self.wedged = False
         self._outbox: List[Callable[[], None]] = []
-        self._pre_view: List[Tuple[int, Message]] = []
         #: Joiner gate: deliveries queue here until state transfer completes.
         self.gated = False
         self._gate_queue: List[Message] = []
@@ -143,7 +144,7 @@ class GroupEngine:
         self.installed = True
         self.gated = gated
         self._reset_for_new_view()
-        self._drain_pre_view()
+        self.pipeline.drain_pre_view()
 
     # ------------------------------------------------------------------
     # Sending
@@ -176,61 +177,32 @@ class GroupEngine:
         assert self.view is not None
         if audited:
             self.sim.trace.bump(f"mcast.{kind}")
-        self._send_seq += 1
-        gseq = self._send_seq
         env = Message(
             _proto="g.cb" if kind == CBCAST else "g.ab",
             gid=self.gid,
             view=self.view.view_id,
             origin=self.site_id,
-            gseq=gseq,
+            gseq=self.pipeline.next_gseq(),
             m=user_msg,
             entry=entry,
         )
-        if kind == CBCAST:
-            count = self._cb_counts.get(sender.process(), 0) + 1
-            self._cb_counts[sender.process()] = count
-            env["cb_sender"] = sender.process()
-            env["cb_seq"] = count
-            env["cb_ctx"] = encode_context(self.kernel.causal_context())
-        else:
-            env["ab_sender"] = sender.process()
-            self.tsender.start((self.site_id, gseq),
-                               list(self.view.member_sites()))
-        self.store.record(self.site_id, gseq, env)
-        sender_key = env.get("cb_sender") or env.get("ab_sender")
-        hw = self.kernel.site.cluster.lan.config.hw_multicast
-        first_remote = True
-        for site in self.view.member_sites():
-            if site != self.site_id:
-                # With a hardware-broadcast LAN ([Babaoglu]), one
-                # transmission reaches every destination: copies after
-                # the first cost only a token amount of sender CPU.
-                promise = self.kernel.send_to_site(
-                    site, env, piggyback=hw and not first_remote)
-                first_remote = False
-                if sender_key is not None:
-                    self.kernel.note_outstanding(sender_key, promise)
+        self.pipeline.submit(env, sender)
         if on_dispatched is not None:
             # Dispatch completes once the site CPU has accepted the
             # fan-out: asynchronous callers are flow-controlled by their
             # own protocols process, never outrunning the network path.
             view_snapshot = self.view
             self.kernel.site.cpu.submit(0.0, on_dispatched, view_snapshot)
-        # Local processing (our own copy) goes through the same pipeline.
-        self._process_data(env)
+        # Our own copy goes through the same ordering stages.
+        self.pipeline.process(env)
 
     # ------------------------------------------------------------------
     # Receive dispatch
     # ------------------------------------------------------------------
     def handle(self, src_site: int, msg: Message) -> None:
         proto = msg["_proto"]
-        if proto in ("g.cb", "g.ab"):
-            self._on_data(msg)
-        elif proto == "g.abp":
-            self._on_proposal(src_site, msg)
-        elif proto == "g.abf":
-            self._on_final(msg)
+        if proto in DeliveryPipeline.WIRE_PROTOS:
+            self.pipeline.receive(src_site, proto, msg)
         elif proto == "g.fl.begin":
             self._on_flush_begin(src_site, msg)
         elif proto == "g.fl.ok":
@@ -245,84 +217,16 @@ class GroupEngine:
             self._on_flush_filled(src_site, msg)
         elif proto == "g.fl.commit":
             self._on_flush_commit(msg)
-        elif proto == "g.stab.q":
-            self._on_stability_query(src_site, msg)
-        elif proto == "g.stab.a":
-            self._on_stability_answer(src_site, msg)
-        elif proto == "g.stab.trim":
-            self._on_stability_trim(msg)
         else:
             self.sim.trace.bump("engine.unknown_proto")
 
-    # -- data path ---------------------------------------------------------
-    def _on_data(self, env: Message) -> None:
-        if not self.installed or self.view is None:
-            self._pre_view.append((env["view"], env))
-            return
-        view_id = env["view"]
-        if view_id < self.view.view_id:
-            self.sim.trace.bump("engine.stale_view_drop")
-            return
-        if view_id > self.view.view_id:
-            self._pre_view.append((view_id, env))
-            return
-        if self.store.record(env["origin"], env["gseq"], env):
-            self._process_data(env)
-
-    def _process_data(self, env: Message) -> None:
-        if env["_proto"] == "g.cb":
-            for ready in self.causal.offer(env):
-                self._deliver_env(ready)
-            self.kernel.recheck_causal(exclude=self.gid)
-        else:
-            ref = (env["origin"], env["gseq"])
-            priority = self.total.propose(ref, env)
-            if env["origin"] == self.site_id:
-                self._offer_own_proposal(ref, priority)
-            else:
-                self.kernel.send_to_site(env["origin"], Message(
-                    _proto="g.abp", gid=self.gid,
-                    ref=list(ref), prio=list(priority),
-                ))
-
-    def _on_proposal(self, src_site: int, msg: Message) -> None:
-        ref = (msg["ref"][0], msg["ref"][1])
-        final = self.tsender.offer_proposal(
-            ref, src_site, (msg["prio"][0], msg["prio"][1]))
-        if final is not None:
-            self._disseminate_final(ref, final)
-
-    def _offer_own_proposal(self, ref: Tuple[int, int],
-                            priority: Tuple[int, int]) -> None:
-        final = self.tsender.offer_proposal(ref, self.site_id, priority)
-        if final is not None:
-            self._disseminate_final(ref, final)
-
-    def _disseminate_final(self, ref: Tuple[int, int],
-                           final: Tuple[int, int]) -> None:
-        if self.view is None:
-            return
-        note = Message(_proto="g.abf", gid=self.gid,
-                       ref=list(ref), prio=list(final))
-        for site in self.view.member_sites():
-            if site != self.site_id:
-                self.kernel.send_to_site(site, note)
-        self._apply_final(ref, final)
-
-    def _on_final(self, msg: Message) -> None:
-        self._apply_final(
-            (msg["ref"][0], msg["ref"][1]),
-            (msg["prio"][0], msg["prio"][1]),
-        )
-
-    def _apply_final(self, ref: Tuple[int, int],
-                     final: Tuple[int, int]) -> None:
-        for ready in self.total.finalize(ref, final):
-            self._delivered_finals[(ready["origin"], ready["gseq"])] = final
-            self._deliver_env(ready)
-
     # -- delivery to local members ---------------------------------------------
-    def _deliver_env(self, env: Message) -> None:
+    def note_final_delivered(self, ref: Tuple[int, int],
+                             final: Tuple[int, int]) -> None:
+        """The total-order stage delivered ``ref`` (flush reporting)."""
+        self._delivered_finals[ref] = final
+
+    def deliver_env(self, env: Message) -> None:
         user = env["m"].copy()
         if "_sender" not in user:
             # Member sends stamp the true originator before dissemination;
@@ -513,6 +417,9 @@ class GroupEngine:
         self.wedged = True
         self._participant_fid = fid
         self._expect_union = None
+        # Push coalescing buffers out now: what peers receive before
+        # their reports shrinks the refill the coordinator must arrange.
+        self.pipeline.on_wedge()
 
     def _on_flush_begin(self, src_site: int, msg: Message) -> None:
         fid: FlushId = (msg["fid"][0], msg["fid"][1], msg["fid"][2])
@@ -557,10 +464,14 @@ class GroupEngine:
 
     def _on_flush_data(self, msg: Message) -> None:
         for env in msg["msgs"]:
-            if self.store.record(env["origin"], env["gseq"], env):
-                self._process_data(env)
+            self.pipeline.accept_refill(env)
         fid: FlushId = (msg["fid"][0], msg["fid"][1], msg["fid"][2])
         self._check_filled(fid)
+
+    def maybe_flush_filled(self) -> None:
+        """Data arrived while a fill is pending: re-check completeness."""
+        if self._expect_union is not None:
+            self._check_filled(self._participant_fid)
 
     def _check_filled(self, fid: FlushId) -> None:
         if self._expect_union is None or fid != self._participant_fid:
@@ -586,15 +497,15 @@ class GroupEngine:
         old_view = self.view
         # 1. Deliver the remaining causal messages of the old view.
         for ready in self.causal.recheck():
-            self._deliver_env(ready)
+            self.deliver_env(ready)
         for leftover in self.causal.pending_messages():
             # Cross-group context gaps are overridden at the cut (see
             # DESIGN.md): the set, not the interleaving, is what view
             # synchrony fixes.
-            self._deliver_env(leftover)
+            self.deliver_env(leftover)
         # 2. Deliver the agreed ABCAST cut.
         for ready in self.total.force_order(msg["ab_order"]):
-            self._deliver_env(ready)
+            self.deliver_env(ready)
         # 3. Deliver GBCAST / configuration payloads.
         for payload in event.get("payloads", []):
             user = payload["m"].copy()
@@ -624,27 +535,14 @@ class GroupEngine:
         if still_member:
             for resend in outbox:
                 resend()
-            self._drain_pre_view()
+            self.pipeline.drain_pre_view()
         else:
             self.kernel.retire_engine(self)
 
     def _reset_for_new_view(self) -> None:
         self.store.reset()
-        self.causal.on_new_view()
-        self.total.on_new_view()
-        self.tsender.abandon_all()
+        self.pipeline.on_new_view()
         self._delivered_finals.clear()
-        self._send_seq = 0
-        self._cb_counts.clear()
-
-    def _drain_pre_view(self) -> None:
-        if self.view is None:
-            return
-        ready = [(v, env) for v, env in self._pre_view if v <= self.view.view_id]
-        self._pre_view = [(v, env) for v, env in self._pre_view
-                          if v > self.view.view_id]
-        for _, env in ready:
-            self._on_data(env)
 
     # ------------------------------------------------------------------
     # Failure events
@@ -661,7 +559,7 @@ class GroupEngine:
         # Complete ABCAST collections that were waiting on dead sites.
         for site in dead_sites:
             for ref, final in self.tsender.drop_site(site):
-                self._disseminate_final(ref, final)
+                self.pipeline.total.disseminate_final(ref, final)
         if self.is_coordinator_site():
             if self._active is not None:
                 self.restart_flush(extra_removals=dead_members)
@@ -698,54 +596,5 @@ class GroupEngine:
     # Stability rounds (buffer garbage collection)
     # ------------------------------------------------------------------
     def start_stability_round(self) -> None:
-        if (not self.is_coordinator_site() or self.wedged
-                or self.view is None or self.store.buffered_count == 0):
-            return
-        self._stab_answers: Dict[int, Dict[int, int]] = {
-            self.site_id: self.store.have_vector()
-        }
-        query = Message(_proto="g.stab.q", gid=self.gid)
-        for site in self.view.member_sites():
-            if site != self.site_id:
-                self.kernel.send_to_site(site, query)
-        self._maybe_finish_stability()
-
-    def _on_stability_query(self, src_site: int, msg: Message) -> None:
-        self.kernel.send_to_site(src_site, Message(
-            _proto="g.stab.a", gid=self.gid,
-            have=_encode_pairs(self.store.have_vector()),
-        ))
-
-    def _on_stability_answer(self, src_site: int, msg: Message) -> None:
-        answers = getattr(self, "_stab_answers", None)
-        if answers is None or self.view is None:
-            return
-        answers[src_site] = _decode_pairs(msg["have"])
-        self._maybe_finish_stability()
-
-    def _maybe_finish_stability(self) -> None:
-        answers = getattr(self, "_stab_answers", None)
-        if answers is None or self.view is None:
-            return
-        member_sites = set(self.view.member_sites())
-        if set(answers) < member_sites:
-            return
-        stable: Dict[int, int] = {}
-        origins = set()
-        for have in answers.values():
-            origins |= set(have)
-        for origin in origins:
-            stable[origin] = min(
-                answers[site].get(origin, 0) for site in member_sites)
-        self._stab_answers = None
-        trim = Message(_proto="g.stab.trim", gid=self.gid,
-                       stable=_encode_pairs(stable))
-        for site in member_sites:
-            if site != self.site_id:
-                self.kernel.send_to_site(site, trim)
-        self._on_stability_trim(trim)
-
-    def _on_stability_trim(self, msg: Message) -> None:
-        dropped = self.store.trim_stable(_decode_pairs(msg["stable"]))
-        if dropped:
-            self.sim.trace.bump("stability.trimmed", dropped)
+        """Fallback GC round; a no-op while piggybacked stability trims."""
+        self.pipeline.stability.start_round()

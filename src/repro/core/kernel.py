@@ -68,6 +68,22 @@ class IsisConfig:
     #: (a throughput optimization over the original system); turn off to
     #: reproduce the paper's per-update GBCAST costs.
     gbcast_batching: bool = True
+    #: Envelope batching: data envelopes bound for the same (group,
+    #: site) coalesce into one ``g.batch`` wire message, flushed after
+    #: this window (seconds) or at ``batch_max_bytes``.  ``0`` disables
+    #: batching and reproduces the one-envelope-per-message wire
+    #: behavior of the original system exactly.
+    batch_window: float = 0.0
+    #: Flush a coalescing buffer early once this many envelope bytes
+    #: accumulate (sized so a full batch still fits one 4 KB MTU frame).
+    batch_max_bytes: int = 3072
+    #: Piggyback have-vectors on outgoing data/ack envelopes so buffer
+    #: GC advances continuously; the periodic stability round then only
+    #: runs for idle groups.
+    piggyback_stability: bool = True
+    #: A site that only receives pushes its have-vector to the group
+    #: every N data messages (0 disables receiver-side announcements).
+    stab_announce_every: int = 32
 
 
 class _JoinState:
@@ -352,7 +368,7 @@ class ProtocolsProcess:
                 continue
             if engine.causal.pending_count:
                 for ready in engine.causal.recheck():
-                    engine._deliver_env(ready)
+                    engine.deliver_env(ready)
 
     def deliver_to_local_members(self, engine: GroupEngine,
                                  user: Message) -> None:
@@ -1022,6 +1038,37 @@ class ProtocolsProcess:
             self._outstanding_sends[sender.process()] = [
                 p for p in bucket if not p.done
             ]
+
+    # -- kernel statistics -------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Aggregate data-path counters across this kernel's groups.
+
+        Surfaces what the trace counters cannot attribute per kernel:
+        buffer occupancy and GC progress (so tests and benchmarks can
+        assert that stability actually reclaims memory), plus batching
+        and transport activity for wire-efficiency comparisons.
+        """
+        out = {
+            "groups": len(self.engines),
+            "buffered_messages": 0,
+            "buffered_bytes": 0,
+            "trimmed_messages": 0,
+            "batches_sent": 0,
+            "envelopes_batched": 0,
+            "batch_pending": 0,
+        }
+        for engine in self.engines.values():
+            out["buffered_messages"] += engine.store.buffered_count
+            out["buffered_bytes"] += engine.store.buffered_bytes
+            out["trimmed_messages"] += engine.store.trimmed_total
+            dissemination = engine.pipeline.dissemination
+            out["batches_sent"] += dissemination.batches_sent
+            out["envelopes_batched"] += dissemination.envelopes_batched
+            out["batch_pending"] += dissemination.pending_batched
+        if self.site.transport is not None:
+            for key, value in self.site.transport.stats().items():
+                out[f"transport.{key}"] = value
+        return out
 
     # -- periodic stability rounds -------------------------------------------------
     def _schedule_stability(self) -> None:

@@ -1,0 +1,619 @@
+"""The layered delivery pipeline: dissemination → ordering → stability.
+
+The multicast data path of a group at one member site is a composable
+stack of three stages, driven by :class:`~repro.core.engine.GroupEngine`
+through the narrow :class:`DeliveryPipeline` interface:
+
+* :class:`DisseminationStage` — fans data envelopes out to every member
+  site.  With ``IsisConfig.batch_window > 0`` it coalesces envelopes
+  bound for the same site into one wire message (``g.batch``), flushed
+  when the window expires or ``batch_max_bytes`` accumulate; with a zero
+  window every envelope is its own wire message, byte-for-byte what the
+  unbatched system sent.
+* **Ordering** — :class:`CausalOrdering` (CBCAST: vector clocks,
+  per-sender FIFO) and :class:`TotalOrdering` (ABCAST: two-phase
+  priorities) decide *when* a buffered envelope may be handed to the
+  engine's delivery sink.
+* :class:`StabilityStage` — tracks which messages are known received
+  everywhere.  Have-vectors piggyback on outgoing data envelopes,
+  batches and ABCAST acks, so :meth:`MessageStore.trim_stable` advances
+  continuously under traffic; the periodic ``g.stab.q/a/trim`` round is
+  demoted to a fallback for idle groups.
+
+The engine keeps what is *not* the data path: the flush protocol, view
+installation, and local delivery.  New protocol variants (sharded
+dissemination, alternative orderings) plug in behind the same stage
+interfaces without touching the engine.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..errors import CodecError, SiteDown
+from ..msg.address import Address
+from ..msg.fields import decode_have_vector, encode_have_vector
+from ..msg.message import BATCH_PROTO, Message, pack_batch, unpack_batch
+from ..sim.core import Timer
+from ..sim.tasks import Promise
+from .abcast import MsgRef, Priority, TotalOrderReceiver, TotalOrderSender
+from .cbcast import CausalReceiver
+from .vectorclock import encode_context
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import GroupEngine
+
+
+def _encode_pairs(mapping: Dict[int, int]) -> List[List[int]]:
+    return [[k, v] for k, v in sorted(mapping.items())]
+
+
+def _decode_pairs(pairs: List[List[int]]) -> Dict[int, int]:
+    return {k: v for k, v in pairs}
+
+
+# ----------------------------------------------------------------------
+# Dissemination
+# ----------------------------------------------------------------------
+class _BatchBuffer:
+    """Envelopes coalescing for one (group, destination site)."""
+
+    __slots__ = ("entries", "bytes", "timer", "all_cheap")
+
+    def __init__(self) -> None:
+        self.entries: List[Tuple[Message, Promise]] = []
+        self.bytes = 0
+        self.timer: Optional[Timer] = None
+        #: A batch rides a hardware-broadcast transmission only if every
+        #: envelope in it was a piggybacked copy.
+        self.all_cheap = True
+
+
+class DisseminationStage:
+    """Fan-out of data envelopes, with optional wire-level batching."""
+
+    def __init__(self, engine: "GroupEngine", pipeline: "DeliveryPipeline"):
+        self.engine = engine
+        self.pipeline = pipeline
+        self.kernel = engine.kernel
+        self._send_seq = 0
+        #: destination site -> coalescing buffer.
+        self._buffers: Dict[int, _BatchBuffer] = {}
+        self.batches_sent = 0
+        self.envelopes_batched = 0
+
+    def next_gseq(self) -> int:
+        self._send_seq += 1
+        return self._send_seq
+
+    def fan_out(self, env: Message, sender_key: Optional[Address]) -> None:
+        """Send ``env`` to every remote member site of the current view."""
+        view = self.engine.view
+        assert view is not None
+        window = self.kernel.config.batch_window
+        hw = self.kernel.site.cluster.lan.config.hw_multicast
+        first_remote = True
+        for site in view.member_sites():
+            if site == self.engine.site_id:
+                continue
+            # With a hardware-broadcast LAN ([Babaoglu]), one
+            # transmission reaches every destination: copies after the
+            # first cost only a token amount of sender CPU.
+            cheap = hw and not first_remote
+            first_remote = False
+            if window > 0:
+                promise = self._enqueue(site, env, cheap)
+            else:
+                promise = self.kernel.send_to_site(site, env, piggyback=cheap)
+            if sender_key is not None:
+                self.kernel.note_outstanding(sender_key, promise)
+
+    # -- coalescing --------------------------------------------------------
+    def _enqueue(self, dst_site: int, env: Message, cheap: bool) -> Promise:
+        buf = self._buffers.get(dst_site)
+        if buf is None:
+            buf = _BatchBuffer()
+            self._buffers[dst_site] = buf
+        promise = Promise(label=f"batched:{self.engine.gid}->{dst_site}")
+        buf.entries.append((env, promise))
+        buf.bytes += env.size_bytes
+        buf.all_cheap = buf.all_cheap and cheap
+        if buf.bytes >= self.kernel.config.batch_max_bytes:
+            self._flush(dst_site)
+        elif buf.timer is None:
+            buf.timer = self.engine.sim.call_after(
+                self.kernel.config.batch_window, self._flush, dst_site)
+        return promise
+
+    def _flush(self, dst_site: int) -> None:
+        buf = self._buffers.pop(dst_site, None)
+        if buf is None or not buf.entries:
+            return
+        if buf.timer is not None:
+            buf.timer.cancel()
+        if not self.kernel.alive:
+            for _, entry_promise in buf.entries:
+                entry_promise.reject(
+                    SiteDown(f"site {self.engine.site_id} is down"))
+            return
+        envelopes = [env for env, _ in buf.entries]
+        stab = stab_view = None
+        if self.kernel.config.piggyback_stability and self.engine.view is not None:
+            stab = self.engine.store.have_vector()
+            stab_view = self.engine.view.view_id
+        batch = pack_batch(self.engine.gid, envelopes, stab, stab_view)
+        self.batches_sent += 1
+        self.envelopes_batched += len(envelopes)
+        self.engine.sim.trace.bump("batch.sent")
+        self.engine.sim.trace.bump("batch.envelopes", len(envelopes))
+        sent = self.kernel.send_to_site(dst_site, batch,
+                                        piggyback=buf.all_cheap)
+
+        def settle(p: Promise) -> None:
+            for _, entry_promise in buf.entries:
+                if p.rejected:
+                    entry_promise.reject(p.exception)
+                else:
+                    entry_promise.resolve(None)
+
+        sent.add_done_callback(settle)
+
+    def flush_all(self) -> None:
+        """Drain every coalescing buffer now (wedge / urgent points)."""
+        for dst_site in list(self._buffers):
+            self._flush(dst_site)
+
+    @property
+    def pending_batched(self) -> int:
+        return sum(len(buf.entries) for buf in self._buffers.values())
+
+    def on_new_view(self) -> None:
+        # Buffers were drained at wedge time; per-view sequence restarts.
+        self._send_seq = 0
+
+
+# ----------------------------------------------------------------------
+# Ordering
+# ----------------------------------------------------------------------
+class CausalOrdering:
+    """CBCAST stage: vector-clock causal delivery."""
+
+    def __init__(self, engine: "GroupEngine", pipeline: "DeliveryPipeline"):
+        self.engine = engine
+        self.pipeline = pipeline
+        self.receiver = CausalReceiver(engine.kernel.check_context)
+        #: Per-sender CBCAST count within the current view (send side).
+        self._counts: Dict[Address, int] = {}
+
+    def stamp(self, env: Message, sender: Address) -> None:
+        """Send side: attach causal metadata to an outgoing envelope."""
+        count = self._counts.get(sender.process(), 0) + 1
+        self._counts[sender.process()] = count
+        env["cb_sender"] = sender.process()
+        env["cb_seq"] = count
+        env["cb_ctx"] = encode_context(self.engine.kernel.causal_context())
+
+    def ingest(self, env: Message) -> None:
+        """Receive side: queue, deliver whatever became deliverable."""
+        for ready in self.receiver.offer(env):
+            self.engine.deliver_env(ready)
+        self.engine.kernel.recheck_causal(exclude=self.engine.gid)
+
+    def on_new_view(self) -> None:
+        self.receiver.on_new_view()
+        self._counts.clear()
+
+
+class TotalOrdering:
+    """ABCAST stage: two-phase priority total order."""
+
+    def __init__(self, engine: "GroupEngine", pipeline: "DeliveryPipeline"):
+        self.engine = engine
+        self.pipeline = pipeline
+        self.receiver = TotalOrderReceiver(engine.site_id)
+        self.sender = TotalOrderSender()
+
+    def stamp(self, env: Message, sender: Address) -> None:
+        """Send side: open a proposal collection for this envelope."""
+        assert self.engine.view is not None
+        env["ab_sender"] = sender.process()
+        self.sender.start((self.engine.site_id, env["gseq"]),
+                          list(self.engine.view.member_sites()))
+
+    def ingest(self, env: Message) -> None:
+        """Receive side: buffer, propose a priority back to the origin."""
+        ref: MsgRef = (env["origin"], env["gseq"])
+        priority = self.receiver.propose(ref, env)
+        if env["origin"] == self.engine.site_id:
+            self.offer_proposal(ref, self.engine.site_id, priority)
+        else:
+            note = Message(_proto="g.abp", gid=self.engine.gid,
+                           ref=list(ref), prio=list(priority))
+            self.pipeline.stability.attach(note)
+            self.engine.kernel.send_to_site(env["origin"], note)
+
+    def on_proposal(self, src_site: int, msg: Message) -> None:
+        ref = (msg["ref"][0], msg["ref"][1])
+        self.offer_proposal(ref, src_site, (msg["prio"][0], msg["prio"][1]))
+
+    def offer_proposal(self, ref: MsgRef, site: int,
+                       priority: Priority) -> None:
+        final = self.sender.offer_proposal(ref, site, priority)
+        if final is not None:
+            self.disseminate_final(ref, final)
+
+    def disseminate_final(self, ref: MsgRef, final: Priority) -> None:
+        if self.engine.view is None:
+            return
+        note = Message(_proto="g.abf", gid=self.engine.gid,
+                       ref=list(ref), prio=list(final))
+        self.pipeline.stability.attach(note)
+        for site in self.engine.view.member_sites():
+            if site != self.engine.site_id:
+                self.engine.kernel.send_to_site(site, note)
+        self.apply_final(ref, final)
+
+    def on_final(self, msg: Message) -> None:
+        self.apply_final((msg["ref"][0], msg["ref"][1]),
+                         (msg["prio"][0], msg["prio"][1]))
+
+    def apply_final(self, ref: MsgRef, final: Priority) -> None:
+        for ready in self.receiver.finalize(ref, final):
+            ready_ref: MsgRef = (ready["origin"], ready["gseq"])
+            # One finalize can unblock several queued messages; each is
+            # recorded with its own final priority (a flush cut built
+            # from a wrong priority would diverge between survivors).
+            delivered_with = self.receiver.delivered_priority(ready_ref)
+            self.engine.note_final_delivered(
+                ready_ref, delivered_with if delivered_with is not None
+                else final)
+            self.engine.deliver_env(ready)
+
+    def on_new_view(self) -> None:
+        self.receiver.on_new_view()
+        self.sender.abandon_all()
+
+
+# ----------------------------------------------------------------------
+# Stability
+# ----------------------------------------------------------------------
+class StabilityStage:
+    """Continuous, piggybacked stability tracking + fallback rounds.
+
+    Every member site buffers every data message until it is known
+    received everywhere (the flush may need it for refill).  This stage
+    learns peers' have-vectors from piggybacked fields and advances the
+    local trim floor — the pointwise minimum over all member sites —
+    whenever that knowledge grows.  A site that only *receives* pushes
+    its have-vector to the group every ``stab_announce_every`` messages;
+    the coordinator's periodic query round remains as the fallback that
+    catches idle tails.
+    """
+
+    def __init__(self, engine: "GroupEngine", pipeline: "DeliveryPipeline"):
+        self.engine = engine
+        self.pipeline = pipeline
+        self.kernel = engine.kernel
+        #: Peer site -> best-known have-vector (monotone max-merged).
+        self._peer_have: Dict[int, Dict[int, int]] = {}
+        self._recv_since_announce = 0
+        self._last_advance = float("-inf")
+        #: Fallback-round state (coordinator only): site -> have-vector.
+        self._round_answers: Optional[Dict[int, Dict[int, int]]] = None
+
+    # -- piggyback: attach -------------------------------------------------
+    def attach(self, msg: Message) -> None:
+        """Piggyback our have-vector on an outgoing data/ack envelope."""
+        if not self.kernel.config.piggyback_stability:
+            return
+        view = self.engine.view
+        if view is None:
+            return
+        msg["stab"] = encode_have_vector(self.engine.store.have_vector())
+        msg["stab_view"] = view.view_id
+
+    # -- piggyback: ingest -------------------------------------------------
+    def ingest_env(self, src_site: int, msg: Message) -> None:
+        """Absorb a have-vector riding on a received envelope."""
+        if "stab" not in msg:
+            return
+        try:
+            have = decode_have_vector(bytes(msg["stab"]))
+        except CodecError:
+            self.engine.sim.trace.bump("stability.bad_piggyback")
+            return
+        self.ingest(src_site, have, msg.get("stab_view"))
+
+    def ingest(self, src_site: int, have: Optional[Dict[int, int]],
+               stab_view: Optional[int]) -> None:
+        """Merge a peer's have-vector (monotone) and maybe trim.
+
+        Have-vectors are per-view (gseq counters restart when a view
+        installs), so a vector tagged with any other view is ignored.
+        """
+        if not self.kernel.config.piggyback_stability:
+            return  # off: buffer GC is the fallback round's job alone
+        view = self.engine.view
+        if have is None or view is None or stab_view != view.view_id:
+            return
+        known = self._peer_have.setdefault(src_site, {})
+        advanced = False
+        for origin, top in have.items():
+            if top > known.get(origin, 0):
+                known[origin] = top
+                advanced = True
+        if advanced:
+            self.maybe_trim()
+
+    def maybe_trim(self) -> None:
+        """Trim the store up to the pointwise-min cut, if it advanced."""
+        engine = self.engine
+        view = engine.view
+        if view is None or not engine.installed:
+            return
+        if engine.wedged:
+            # Mid-flush, the coordinator's pull plan assumes any site
+            # whose *report* covered a message can still supply it;
+            # trimming now could empty a pending refill.  Deferring
+            # costs nothing: the store resets when the view installs.
+            return
+        if engine.store.buffered_count == 0:
+            return
+        others = set(view.member_sites()) - {engine.site_id}
+        if any(site not in self._peer_have for site in others):
+            return  # someone's reception state is still unknown
+        own = engine.store.have_vector()
+        stable: Dict[int, int] = {}
+        for origin, top in own.items():
+            floor = top
+            for site in others:
+                floor = min(floor, self._peer_have[site].get(origin, 0))
+            if floor > 0:
+                stable[origin] = floor
+        if not stable:
+            return
+        dropped = engine.store.trim_stable(stable)
+        if dropped:
+            self._last_advance = engine.sim.now
+            engine.sim.trace.bump("stability.trimmed", dropped)
+            engine.sim.trace.bump("stability.piggyback_trimmed", dropped)
+
+    # -- receiver-side announcements ---------------------------------------
+    def note_received(self, count: int = 1) -> None:
+        """Count received data; push our have-vector every N messages."""
+        every = self.kernel.config.stab_announce_every
+        if not self.kernel.config.piggyback_stability or every <= 0:
+            return
+        self._recv_since_announce += count
+        if self._recv_since_announce >= every:
+            self.announce()
+
+    def announce(self) -> None:
+        """Unsolicited ``g.stab.a``: tell peers what we have received."""
+        engine = self.engine
+        view = engine.view
+        if view is None or not engine.installed or engine.wedged:
+            return
+        self._recv_since_announce = 0
+        note = Message(_proto="g.stab.a", gid=engine.gid,
+                       have=_encode_pairs(engine.store.have_vector()),
+                       stab_view=view.view_id)
+        engine.sim.trace.bump("stability.announcements")
+        for site in view.member_sites():
+            if site != engine.site_id:
+                self.kernel.send_to_site(site, note)
+
+    # -- fallback rounds (coordinator-driven garbage collection) -----------
+    def start_round(self) -> None:
+        engine = self.engine
+        if (not engine.is_coordinator_site() or engine.wedged
+                or engine.view is None
+                or engine.store.buffered_count == 0):
+            return
+        if (self.kernel.config.piggyback_stability
+                and engine.sim.now - self._last_advance
+                < self.kernel.config.stability_interval):
+            # Piggybacked stability is trimming continuously; the round
+            # only runs for groups that have gone quiet with a buffered
+            # tail.
+            engine.sim.trace.bump("stability.round_skipped")
+            return
+        self._round_answers = {engine.site_id: engine.store.have_vector()}
+        query = Message(_proto="g.stab.q", gid=engine.gid)
+        for site in engine.view.member_sites():
+            if site != engine.site_id:
+                self.kernel.send_to_site(site, query)
+        self._maybe_finish_round()
+
+    def on_query(self, src_site: int, msg: Message) -> None:
+        engine = self.engine
+        note = Message(_proto="g.stab.a", gid=engine.gid,
+                       have=_encode_pairs(engine.store.have_vector()))
+        if engine.view is not None:
+            note["stab_view"] = engine.view.view_id
+        self.kernel.send_to_site(src_site, note)
+
+    def on_answer(self, src_site: int, msg: Message) -> None:
+        have = _decode_pairs(msg["have"])
+        view = self.engine.view
+        if view is not None:
+            # Answers double as announcements (solicited or not).
+            self.ingest(src_site, have, msg.get("stab_view", view.view_id))
+        if self._round_answers is not None:
+            self._round_answers[src_site] = have
+            self._maybe_finish_round()
+
+    def _maybe_finish_round(self) -> None:
+        engine = self.engine
+        answers = self._round_answers
+        if answers is None or engine.view is None:
+            return
+        member_sites = set(engine.view.member_sites())
+        if set(answers) < member_sites:
+            return
+        stable: Dict[int, int] = {}
+        origins: set = set()
+        for have in answers.values():
+            origins |= set(have)
+        for origin in origins:
+            stable[origin] = min(
+                answers[site].get(origin, 0) for site in member_sites)
+        self._round_answers = None
+        trim = Message(_proto="g.stab.trim", gid=engine.gid,
+                       stable=_encode_pairs(stable))
+        for site in member_sites:
+            if site != engine.site_id:
+                self.kernel.send_to_site(site, trim)
+        self.on_trim(trim)
+
+    def on_trim(self, msg: Message) -> None:
+        dropped = self.engine.store.trim_stable(_decode_pairs(msg["stable"]))
+        if dropped:
+            self._last_advance = self.engine.sim.now
+            self.engine.sim.trace.bump("stability.trimmed", dropped)
+
+    def on_new_view(self) -> None:
+        self._peer_have.clear()
+        self._recv_since_announce = 0
+        self._round_answers = None
+
+
+# ----------------------------------------------------------------------
+# The pipeline
+# ----------------------------------------------------------------------
+class DeliveryPipeline:
+    """The stack the engine drives; owns the whole multicast data path."""
+
+    #: Wire protocols the pipeline consumes (engine routes these here).
+    WIRE_PROTOS = frozenset({
+        BATCH_PROTO, "g.cb", "g.ab", "g.abp", "g.abf",
+        "g.stab.q", "g.stab.a", "g.stab.trim",
+    })
+
+    def __init__(self, engine: "GroupEngine"):
+        self.engine = engine
+        self.dissemination = DisseminationStage(engine, self)
+        self.causal = CausalOrdering(engine, self)
+        self.total = TotalOrdering(engine, self)
+        self.stability = StabilityStage(engine, self)
+        #: Envelopes for views we have not installed yet.
+        self._pre_view: List[Tuple[int, Message]] = []
+
+    # -- send path ---------------------------------------------------------
+    def next_gseq(self) -> int:
+        return self.dissemination.next_gseq()
+
+    def submit(self, env: Message, sender: Address) -> None:
+        """Local send: stamp ordering metadata, buffer, fan out.
+
+        The caller feeds the sender's own copy back through
+        :meth:`process` once dispatch bookkeeping is done.
+        """
+        engine = self.engine
+        if env["_proto"] == "g.cb":
+            self.causal.stamp(env, sender)
+        else:
+            self.total.stamp(env, sender)
+        if engine.kernel.config.batch_window <= 0:
+            # Unbatched sends carry the have-vector on the envelope
+            # itself; batched sends carry one per batch container.
+            self.stability.attach(env)
+        engine.store.record(engine.site_id, env["gseq"], env)
+        sender_key = env.get("cb_sender") or env.get("ab_sender")
+        self.dissemination.fan_out(env, sender_key)
+
+    # -- receive path ------------------------------------------------------
+    def receive(self, src_site: int, proto: str, msg: Message) -> None:
+        """Wire ingress for every pipeline protocol."""
+        if proto == BATCH_PROTO:
+            try:
+                envelopes, stab, stab_view = unpack_batch(msg)
+            except CodecError:
+                self.engine.sim.trace.bump("pipeline.bad_batch")
+                return
+            self.stability.ingest(src_site, stab, stab_view)
+            for env in envelopes:
+                self.ingest_data(src_site, env)
+        elif proto in ("g.cb", "g.ab"):
+            self.ingest_data(src_site, msg)
+        elif proto == "g.abp":
+            self.stability.ingest_env(src_site, msg)
+            self.total.on_proposal(src_site, msg)
+        elif proto == "g.abf":
+            self.stability.ingest_env(src_site, msg)
+            self.total.on_final(msg)
+        elif proto == "g.stab.q":
+            self.stability.on_query(src_site, msg)
+        elif proto == "g.stab.a":
+            self.stability.on_answer(src_site, msg)
+        elif proto == "g.stab.trim":
+            self.stability.on_trim(msg)
+        else:  # pragma: no cover - engine only routes WIRE_PROTOS here
+            self.engine.sim.trace.bump("engine.unknown_proto")
+
+    def ingest_data(self, src_site: int, env: Message) -> None:
+        """One data envelope off the wire: gate by view, buffer, order."""
+        engine = self.engine
+        self.stability.ingest_env(src_site, env)
+        if not engine.installed or engine.view is None:
+            self._pre_view.append((env["view"], env))
+            return
+        view_id = env["view"]
+        if view_id < engine.view.view_id:
+            engine.sim.trace.bump("engine.stale_view_drop")
+            return
+        if view_id > engine.view.view_id:
+            self._pre_view.append((view_id, env))
+            return
+        if engine.store.record(env["origin"], env["gseq"], env):
+            self.stability.note_received()
+            self.process(env)
+            # In-flight data arriving mid-flush can be exactly what the
+            # union cut is waiting for (a holder may have trimmed it and
+            # be unable to refill): re-check our fill obligation.
+            engine.maybe_flush_filled()
+
+    def accept_refill(self, env: Message) -> bool:
+        """A flush holder re-sent this envelope; returns True if new.
+
+        Refill only ever carries current-view messages; a copy arriving
+        after the flush committed (a retransmitted ``g.fl.data`` frame)
+        must not leak into the successor view's fresh ordering state.
+        """
+        engine = self.engine
+        if engine.view is None or env["view"] != engine.view.view_id:
+            engine.sim.trace.bump("engine.stale_refill_drop")
+            return False
+        if engine.store.record(env["origin"], env["gseq"], env):
+            self.process(env)
+            return True
+        return False
+
+    def process(self, env: Message) -> None:
+        """Hand a newly buffered envelope to its ordering stage."""
+        if env["_proto"] == "g.cb":
+            self.causal.ingest(env)
+        else:
+            self.total.ingest(env)
+
+    # -- view lifecycle ----------------------------------------------------
+    def drain_pre_view(self) -> None:
+        """Re-inject envelopes whose view has now been installed."""
+        view = self.engine.view
+        if view is None:
+            return
+        ready = [(v, env) for v, env in self._pre_view if v <= view.view_id]
+        self._pre_view = [(v, env) for v, env in self._pre_view
+                          if v > view.view_id]
+        for _, env in ready:
+            self.ingest_data(env["origin"], env)
+
+    def on_wedge(self) -> None:
+        """Flush in progress: push buffered batches out ahead of reports."""
+        self.dissemination.flush_all()
+
+    def on_new_view(self) -> None:
+        self.dissemination.on_new_view()
+        self.causal.on_new_view()
+        self.total.on_new_view()
+        self.stability.on_new_view()

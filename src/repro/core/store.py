@@ -36,6 +36,13 @@ class MessageStore:
         self._contiguous: Dict[int, int] = {}
         #: Out-of-order receptions (gaps possible during flush refill).
         self._gapped: Dict[int, Dict[int, Message]] = {}
+        #: Encoded size of each buffered message, frozen at record time.
+        self._sizes: Dict[Tag, int] = {}
+        #: Encoded bytes currently buffered (kept incrementally).
+        self._buffered_bytes = 0
+        #: Messages garbage-collected over this store's lifetime (across
+        #: views); lets benchmarks and tests assert buffer GC happens.
+        self.trimmed_total = 0
 
     # -- recording ---------------------------------------------------------
     def record(self, origin_site: int, gseq: int, msg: Message) -> bool:
@@ -43,7 +50,16 @@ class MessageStore:
         tag = (origin_site, gseq)
         if tag in self._messages:
             return False
+        if gseq <= self._contiguous.get(origin_site, 0):
+            # Everything up to the contiguous floor was received here,
+            # even if since trimmed as stable: a late copy (flush refill
+            # racing a trim) must not be mistaken for a new message.
+            return False
         self._messages[tag] = msg
+        # Size is captured at record time: later mutation of the envelope
+        # must not skew the accounting when the message is trimmed.
+        self._sizes[tag] = msg.size_bytes
+        self._buffered_bytes += self._sizes[tag]
         top = self._contiguous.get(origin_site, 0)
         if gseq == top + 1:
             top = gseq
@@ -71,10 +87,17 @@ class MessageStore:
         return sorted(self._messages)
 
     def missing_from(self, union: Dict[int, int]) -> List[Tag]:
-        """Tags in ``union`` (per-site maxima) that we do not hold."""
+        """Tags in ``union`` (per-site maxima) that we never received.
+
+        Messages at or below the contiguous floor were received here and
+        possibly trimmed since — a trim only ever drops messages stable
+        at *every* member site, so nothing below the floor can be needed
+        for a flush refill.
+        """
         missing = []
         for origin_site, top in union.items():
-            for gseq in range(1, top + 1):
+            floor = self._contiguous.get(origin_site, 0)
+            for gseq in range(floor + 1, top + 1):
                 if (origin_site, gseq) not in self._messages:
                     missing.append((origin_site, gseq))
         return missing
@@ -103,6 +126,8 @@ class MessageStore:
         ]
         for tag in victims:
             del self._messages[tag]
+            self._buffered_bytes -= self._sizes.pop(tag, 0)
+        self.trimmed_total += len(victims)
         return len(victims)
 
     def reset(self) -> None:
@@ -110,7 +135,14 @@ class MessageStore:
         self._messages.clear()
         self._contiguous.clear()
         self._gapped.clear()
+        self._sizes.clear()
+        self._buffered_bytes = 0
 
     @property
     def buffered_count(self) -> int:
         return len(self._messages)
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Encoded bytes held for potential flush refill."""
+        return self._buffered_bytes

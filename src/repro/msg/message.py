@@ -18,7 +18,14 @@ from typing import Any, Dict, Iterator, List, Optional
 
 from ..errors import CodecError
 from .address import Address
-from .fields import _U16, _U32, decode_value, encode_value
+from .fields import (
+    _U16,
+    _U32,
+    decode_have_vector,
+    decode_value,
+    encode_have_vector,
+    encode_value,
+)
 
 # System field names.  Only kernel code should write these.
 F_SENDER = "_sender"      # Address: set at send time, unforgeable
@@ -158,6 +165,62 @@ class Message:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         keys = ", ".join(sorted(self._fields))
         return f"<Message [{keys}]>"
+
+
+# ----------------------------------------------------------------------
+# Envelope batch codec
+# ----------------------------------------------------------------------
+# A batch is one wire message carrying several group data envelopes bound
+# for the same destination site, plus an optional piggybacked stability
+# have-vector.  Envelopes are stored pre-encoded so packing and unpacking
+# never re-walk nested field trees, and so the wire bytes of each
+# envelope are exactly what an unbatched send would have produced.
+
+#: Wire protocol tag for a packed envelope batch.
+BATCH_PROTO = "g.batch"
+
+
+def pack_batch(
+    gid: Address,
+    envelopes: List[Message],
+    stab: Optional[Dict[int, int]] = None,
+    stab_view: Optional[int] = None,
+) -> Message:
+    """Pack ``envelopes`` (in order) into one ``g.batch`` wire message.
+
+    ``stab`` is a have-vector piggybacked alongside the data (present
+    only when the sender has stability information to share); it is
+    tagged with ``stab_view`` because have-vectors are meaningless
+    across view changes (gseq counters restart per view).
+    """
+    if not envelopes:
+        raise CodecError("cannot pack an empty envelope batch")
+    msg = Message(
+        _proto=BATCH_PROTO,
+        gid=gid,
+        envs=[env.encode() for env in envelopes],
+    )
+    if stab is not None:
+        msg["stab"] = encode_have_vector(stab)
+        msg["stab_view"] = stab_view
+    return msg
+
+
+def unpack_batch(
+    msg: Message,
+) -> "tuple[List[Message], Optional[Dict[int, int]], Optional[int]]":
+    """Inverse of :func:`pack_batch`.
+
+    Returns ``(envelopes, stab, stab_view)`` with envelope order
+    preserved; ``stab`` is ``None`` when nothing was piggybacked.
+    """
+    if msg.get(F_PROTO) != BATCH_PROTO:
+        raise CodecError(f"not a batch message: {msg.get(F_PROTO)!r}")
+    envelopes = [Message.decode(bytes(raw)) for raw in msg["envs"]]
+    stab = None
+    if "stab" in msg:
+        stab = decode_have_vector(bytes(msg["stab"]))
+    return envelopes, stab, msg.get("stab_view")
 
 
 def system_copy(msg: Message) -> Message:

@@ -91,6 +91,14 @@ class Transport:
         self._reassembler = Reassembler()
         self._next_msg_id = 0
         self._alive = True
+        #: Per-endpoint wire counters (the global trace counters cannot
+        #: attribute frames to a site; benchmarks and kernel stats can).
+        self.msgs_sent = 0
+        self.bytes_sent = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.msgs_received = 0
+        self.retransmits = 0
         #: Optional handler for unreliable datagrams (heartbeats).
         self.on_raw: Optional[Callable[[int, bytes], None]] = None
         lan.attach(site_id, self._on_frame)
@@ -141,6 +149,8 @@ class Transport:
         channel.msg_done[msg_id] = (frames[-1].seq, promise)
         self.sim.trace.bump("transport.messages")
         self.sim.trace.bump("transport.bytes", len(data))
+        self.msgs_sent += 1
+        self.bytes_sent += len(data)
         for frame in frames:
             if len(channel.unacked) < self.lan.config.window:
                 self._transmit(channel, frame)
@@ -162,6 +172,7 @@ class Transport:
         if not self._alive:
             return
         self.lan.send(frame)
+        self.frames_sent += 1
         channel.wire_times.setdefault(frame.seq, self.sim.now)
         self._arm_retransmit(channel, frame.dst_site)
 
@@ -198,6 +209,8 @@ class Transport:
                 channel.rto - age, self._retransmit, dst_site)
             return
         self.sim.trace.bump("transport.retransmits")
+        self.retransmits += 1
+        self.frames_sent += 1
         channel.rto = min(channel.rto * 2, 8 * self.lan.config.rto)
         frame = channel.unacked[oldest_seq]
         channel.wire_times[oldest_seq] = self.sim.now
@@ -231,6 +244,7 @@ class Transport:
     def _on_frame(self, frame: Frame) -> None:
         if not self._alive:
             return
+        self.frames_received += 1
         if frame.kind == KIND_ACK:
             self.cpu.submit(self.lan.config.ack_cpu, self._process_ack, frame)
         elif frame.kind == KIND_RAW:
@@ -290,6 +304,7 @@ class Transport:
                 ready.payload,
             )
             if whole is not None:
+                self.msgs_received += 1
                 self.on_message(frame.src_site, whole)
         if delivered or frame.seq >= channel.expected:
             self._send_ack(frame.src_site, channel.expected - 1)
@@ -303,6 +318,20 @@ class Transport:
             ack=cumulative,
         )
         self.lan.send(ack)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Wire activity of this endpoint since boot."""
+        return {
+            "msgs_sent": self.msgs_sent,
+            "bytes_sent": self.bytes_sent,
+            "frames_sent": self.frames_sent,
+            "frames_received": self.frames_received,
+            "msgs_received": self.msgs_received,
+            "retransmits": self.retransmits,
+        }
 
     # ------------------------------------------------------------------
     # Lifecycle

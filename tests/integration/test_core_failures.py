@@ -8,7 +8,7 @@ nowhere.
 
 import pytest
 
-from repro import ALL, IsisCluster, LanConfig
+from repro import ALL, IsisCluster, IsisConfig, LanConfig
 from repro.errors import BroadcastFailed
 
 
@@ -192,6 +192,133 @@ class TestPartitionStall:
         assert not any(
             m["q"] == "during-partition" for m in deliveries[2]
         )
+
+
+class TestBatchedVirtualSynchrony:
+    """§2.4 guarantees must survive wire-level envelope batching.
+
+    With ``batch_window > 0`` envelopes coalesce into ``g.batch`` wire
+    messages and sit in a sender-side buffer for up to the window; a
+    flush must still produce gap-free, identically-ordered deliveries at
+    every survivor.
+    """
+
+    CONFIG = dict(batch_window=0.010, piggyback_stability=True,
+                  stab_announce_every=8)
+
+    def _system(self, n_sites, seed):
+        return IsisCluster(n_sites=n_sites, seed=seed,
+                           isis_config=IsisConfig(**self.CONFIG))
+
+    def test_same_deliveries_between_same_views(self):
+        """Gap-free delivery across a flush: survivors agree on the set."""
+        system = self._system(4, seed=105)
+        procs, deliveries = build_group(system, [0, 1, 2, 3])
+        system.run_for(5.0)
+
+        def blast(idx, count):
+            gid = yield procs[idx][1].pg_lookup("grp")
+            for i in range(count):
+                yield procs[idx][1].cbcast(gid, 16, tag=f"s{idx}.{i}")
+
+        for idx in (1, 2, 3):
+            procs[idx][0].spawn(blast(idx, 10), f"blast{idx}")
+        # Crash the sender's site mid-stream, with batches in flight.
+        system.run_for(0.5)
+        system.crash_site(1)
+        system.run_for(120.0)
+        assert system.sim.trace.value("batch.sent") > 0, \
+            "workload never exercised the batching path"
+        tags2 = [m["tag"] for m in deliveries[2]]
+        tags3 = [m["tag"] for m in deliveries[3]]
+        assert set(tags2) == set(tags3), "survivors delivered different sets"
+        # Causal order: per-sender FIFO despite coalescing and refill.
+        for site_tags in (tags2, tags3):
+            for sender in ("s2", "s3"):
+                seq = [t for t in site_tags if t.startswith(sender)]
+                assert seq == sorted(seq, key=lambda t: int(t.split(".")[1]))
+
+    def test_abcast_order_identical_despite_crash(self):
+        system = self._system(3, seed=106)
+        procs, deliveries = build_group(system, [0, 1, 2])
+        system.run_for(5.0)
+
+        def blast(idx):
+            gid = yield procs[idx][1].pg_lookup("grp")
+            for i in range(6):
+                yield procs[idx][1].abcast(gid, 16, tag=f"s{idx}.{i}")
+
+        procs[1][0].spawn(blast(1), "blast1")
+        procs[2][0].spawn(blast(2), "blast2")
+        system.run_for(0.4)
+        system.crash_site(1)
+        system.run_for(120.0)
+        tags0 = [m["tag"] for m in deliveries[0]]
+        tags2 = [m["tag"] for m in deliveries[2]]
+        assert tags0 == tags2, "ABCAST order diverged between survivors"
+
+    def test_join_mid_stream_sees_consistent_cut(self):
+        """A member joining under batched traffic misses nothing after
+        its first view: the flush drains coalescing buffers at wedge."""
+        system = self._system(3, seed=107)
+        procs, deliveries = build_group(system, [0, 1])
+        system.run_for(5.0)
+        stop = {"done": False}
+
+        def blast(idx):
+            gid = yield procs[idx][1].pg_lookup("grp")
+            i = 0
+            while not stop["done"]:
+                yield procs[idx][1].cbcast(gid, 16, tag=f"s{idx}.{i}")
+                i += 1
+
+        for idx in (0, 1):
+            procs[idx][0].spawn(blast(idx), f"blast{idx}")
+        late, late_isis = system.spawn(2, "late")
+        late_delivered = []
+        late.bind(16, lambda msg: late_delivered.append(msg["tag"]))
+
+        def join_late():
+            gid = yield late_isis.pg_lookup("grp")
+            yield late_isis.pg_join(gid)
+
+        system.run_for(1.0)
+        late.spawn(join_late(), "join")
+        system.run_for(30.0)
+        stop["done"] = True
+        system.run_for(20.0)
+        # Gap-free delivery across the flush: the joiner's stream per
+        # sender is one contiguous run overlapping the old members' run
+        # (no message batched at wedge time fell into the gap).
+        old_tags = [m["tag"] for m in deliveries[0]]
+        assert late_delivered, "joiner never received batched traffic"
+        for sender in ("s0", "s1"):
+            seq = [int(t.split(".")[1]) for t in late_delivered
+                   if t.startswith(sender)]
+            full = [int(t.split(".")[1]) for t in old_tags
+                    if t.startswith(sender)]
+            assert full == list(range(full[0], full[0] + len(full)))
+            assert seq, f"joiner received nothing from {sender}"
+            assert seq == list(range(seq[0], seq[0] + len(seq)))
+            assert seq[0] <= full[-1], "joiner's run does not overlap"
+
+    def test_stability_trims_without_fallback_rounds(self):
+        """Piggybacked have-vectors GC the buffers while traffic flows."""
+        system = self._system(3, seed=108)
+        procs, _ = build_group(system, [0, 1, 2])
+        system.run_for(5.0)
+
+        def blast(idx):
+            gid = yield procs[idx][1].pg_lookup("grp")
+            for i in range(40):
+                yield procs[idx][1].cbcast(gid, 16, tag=f"s{idx}.{i}")
+
+        for idx in range(3):
+            procs[idx][0].spawn(blast(idx), f"blast{idx}")
+        system.run_for(60.0)
+        assert system.sim.trace.value("stability.piggyback_trimmed") > 0
+        for site in range(3):
+            assert system.kernel(site).stats()["buffered_messages"] == 0
 
 
 class TestTotalGroupFailure:

@@ -1,0 +1,146 @@
+"""Property-based tests: envelope batch codec + have-vector piggyback.
+
+The wire-level guarantees the delivery pipeline's batching relies on:
+
+* ``pack_batch``/``unpack_batch`` round-trip arbitrary envelope lists and
+  piggybacked have-vectors through the real binary codec;
+* splitting an envelope stream into consecutive batches (what the
+  coalescing buffer does) never reorders envelopes of the same sender —
+  the FIFO property the causal layer depends on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.msg import (
+    Address,
+    Message,
+    decode_have_vector,
+    encode_have_vector,
+    pack_batch,
+    unpack_batch,
+)
+
+addresses = st.builds(
+    Address,
+    site=st.integers(0, 0xFFFF),
+    incarnation=st.integers(0, 0xFF),
+    local_id=st.integers(0, 0xFFFF),
+    entry=st.integers(0, 0xFF),
+    is_group=st.booleans(),
+    is_null=st.booleans(),
+)
+
+have_vectors = st.dictionaries(
+    st.integers(0, 2**32), st.integers(0, 2**40), max_size=16
+)
+
+
+def _envelope(sender_site: int, gseq: int, payload: bytes,
+              view: int = 1) -> Message:
+    """A realistic ``g.cb`` data envelope."""
+    return Message(
+        _proto="g.cb",
+        gid=Address(site=0, incarnation=0, local_id=9, is_group=True),
+        view=view,
+        origin=sender_site,
+        gseq=gseq,
+        m=Message(payload=payload),
+        entry=16,
+        cb_sender=Address(site=sender_site, incarnation=0, local_id=1),
+        cb_seq=gseq,
+    )
+
+
+envelope_specs = st.lists(
+    st.tuples(st.integers(0, 7),           # sender site
+              st.binary(max_size=64)),     # payload
+    min_size=1, max_size=24,
+)
+
+
+def _build_stream(specs):
+    """Turn (sender, payload) specs into envelopes with per-sender gseqs."""
+    counters = {}
+    stream = []
+    for sender, payload in specs:
+        counters[sender] = counters.get(sender, 0) + 1
+        stream.append(_envelope(sender, counters[sender], payload))
+    return stream
+
+
+# ----------------------------------------------------------------------
+# Have-vector codec
+# ----------------------------------------------------------------------
+@given(have_vectors)
+def test_have_vector_roundtrip(have):
+    assert decode_have_vector(encode_have_vector(have)) == have
+
+
+@given(have_vectors)
+def test_have_vector_encoding_is_compact_and_deterministic(have):
+    encoded = encode_have_vector(have)
+    assert encoded == encode_have_vector(dict(reversed(list(have.items()))))
+    # Worst case ~20 bytes per entry (two maximal varints); typical far less.
+    assert len(encoded) <= 10 + 20 * len(have)
+
+
+# ----------------------------------------------------------------------
+# Batch codec
+# ----------------------------------------------------------------------
+@given(envelope_specs, st.one_of(st.none(), have_vectors))
+@settings(max_examples=200)
+def test_batch_roundtrip(specs, stab):
+    stream = _build_stream(specs)
+    gid = stream[0]["gid"]
+    stab_view = 1 if stab is not None else None
+    batch = pack_batch(gid, stream, stab, stab_view)
+    # Through the real wire codec, as the transport would carry it.
+    decoded = Message.decode(batch.encode())
+    envelopes, got_stab, got_view = unpack_batch(decoded)
+    assert len(envelopes) == len(stream)
+    for original, copy in zip(stream, envelopes):
+        assert copy.encode() == original.encode()
+    assert got_stab == stab
+    assert got_view == stab_view
+
+
+@given(envelope_specs)
+def test_batch_wire_bytes_equal_unbatched_envelopes(specs):
+    """Each packed envelope's bytes are exactly its unbatched encoding."""
+    stream = _build_stream(specs)
+    batch = pack_batch(stream[0]["gid"], stream)
+    assert [bytes(raw) for raw in batch["envs"]] == \
+        [env.encode() for env in stream]
+
+
+@given(envelope_specs, st.data())
+@settings(max_examples=200)
+def test_batching_never_reorders_same_sender_envelopes(specs, data):
+    """Any consecutive split into batches preserves per-sender FIFO.
+
+    The coalescing buffer appends in send order and flushes whole
+    prefixes, so the receive path (unpack batches in arrival order,
+    process envelopes in pack order) must observe every sender's
+    envelopes in gseq order.
+    """
+    stream = _build_stream(specs)
+    gid = stream[0]["gid"]
+    # Carve the stream into arbitrary consecutive batches.
+    cuts = sorted(data.draw(st.sets(
+        st.integers(1, len(stream)), max_size=len(stream))))
+    batches, start = [], 0
+    for cut in cuts + [len(stream)]:
+        if cut > start:
+            batches.append(pack_batch(gid, stream[start:cut]))
+            start = cut
+    received = []
+    for batch in batches:
+        envelopes, _, _ = unpack_batch(Message.decode(batch.encode()))
+        received.extend(envelopes)
+    assert len(received) == len(stream)
+    per_sender = {}
+    for env in received:
+        per_sender.setdefault(env["origin"], []).append(env["gseq"])
+    for sender, gseqs in per_sender.items():
+        assert gseqs == sorted(gseqs), f"sender {sender} reordered"
