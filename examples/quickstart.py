@@ -16,6 +16,12 @@ from repro import ALL, IsisCluster
 
 
 def main() -> None:
+    # Tuning knobs live on IsisConfig, e.g. the total-order engine:
+    #   IsisCluster(n_sites=3, seed=7,
+    #               isis_config=IsisConfig(abcast_mode="sequencer"))
+    # routes ABCAST ordering through the view's token site (one-phase,
+    # batched order stamps) instead of the paper's two-phase priorities
+    # — ~2x ABCAST throughput at 4 sites; see BENCH_abcast.json.
     system = IsisCluster(n_sites=3, seed=7)
 
     # --- one member process per site -----------------------------------

@@ -1,6 +1,6 @@
 """Virtual synchrony core: groups, views, CBCAST/ABCAST/GBCAST, flush."""
 
-from .abcast import TotalOrderReceiver, TotalOrderSender
+from .abcast import SequencerReceiver, TotalOrderReceiver, TotalOrderSender
 from .bootstrap import IsisCluster
 from .cbcast import CausalReceiver
 from .engine import ABCAST, CBCAST, GroupEngine
@@ -10,7 +10,13 @@ from .kernel import CC_REPLY_ENTRY, KILL_ENTRY, IsisConfig, ProtocolsProcess
 from .namespace import Namespace
 from .rpc import ALL, Session, SessionTable
 from .store import MessageStore
-from .vectorclock import VectorClock, decode_context, encode_context
+from .vectorclock import (
+    VectorClock,
+    decode_context,
+    decode_context_compact,
+    encode_context,
+    encode_context_compact,
+)
 from .view import View
 
 __all__ = [
@@ -24,8 +30,11 @@ __all__ = [
     "VectorClock",
     "encode_context",
     "decode_context",
+    "encode_context_compact",
+    "decode_context_compact",
     "MessageStore",
     "CausalReceiver",
+    "SequencerReceiver",
     "TotalOrderReceiver",
     "TotalOrderSender",
     "FlushCoordinator",

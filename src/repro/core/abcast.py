@@ -1,6 +1,8 @@
-"""ABCAST: totally ordered multicast via two-phase priorities.
+"""ABCAST receiver state: two-phase priorities and sequencer stamps.
 
-The protocol of [Birman-a], as sketched in §3.1 and costed in Figure 3
+Two total-order engines share this module.  The paper's protocol
+(:class:`TotalOrderReceiver` / :class:`TotalOrderSender`) of [Birman-a],
+as sketched in §3.1 and costed in Figure 3
 (3 inter-site messages on the critical path):
 
 1. The sender's kernel disseminates the message to every member site;
@@ -19,6 +21,16 @@ a proposal can only grow into a larger final value, never shrink.
 
 Priorities are ``(counter, site_id)`` pairs, globally unique because each
 site's counter advances on every proposal it makes.
+
+:class:`SequencerReceiver` implements the Isis-lineage one-phase
+alternative (``IsisConfig.abcast_mode = "sequencer"``): a single token
+site assigns a dense per-view sequence number (*stamp*) to each ABCAST
+and broadcasts the stamps; every site delivers in contiguous stamp
+order.  A stamp ``s`` is represented as the priority ``(s, 0)`` so the
+flush protocol's cut machinery (reports, union, ``force_order``) works
+identically for both modes: survivors union the stamped prefix and
+order any still-unstamped messages after it with the deterministic
+:data:`UNSTAMPED_BASE` priorities.
 """
 
 from __future__ import annotations
@@ -31,8 +43,14 @@ from ..msg.message import Message
 Priority = Tuple[int, int]       # (counter, proposer site id)
 MsgRef = Tuple[int, int]         # (origin_site, gseq) within the view
 
+#: Sequencer mode: priority base for messages the token never stamped.
+#: Far above any reachable stamp, so the flush cut orders the stamped
+#: prefix first and the unstamped tail after it, deterministically
+#: (``(UNSTAMPED_BASE + gseq, origin_site)`` is the same at every site).
+UNSTAMPED_BASE = 1 << 32
 
-@dataclass
+
+@dataclass(slots=True)
 class _QueueEntry:
     ref: MsgRef
     msg: Message
@@ -42,6 +60,8 @@ class _QueueEntry:
 
 class TotalOrderReceiver:
     """Receiver-side ABCAST state for one group at one kernel."""
+
+    __slots__ = ("site_id", "_counter", "_queue", "_delivered_refs")
 
     def __init__(self, site_id: int):
         self.site_id = site_id
@@ -143,6 +163,8 @@ class TotalOrderReceiver:
 class TotalOrderSender:
     """Sender-side bookkeeping: collect proposals, pick the max."""
 
+    __slots__ = ("_collecting",)
+
     def __init__(self) -> None:
         #: ref -> {site: priority}, sites we still expect proposals from.
         self._collecting: Dict[MsgRef, Dict] = {}
@@ -189,3 +211,137 @@ class TotalOrderSender:
     @property
     def in_flight(self) -> int:
         return len(self._collecting)
+
+
+class SequencerReceiver:
+    """Receiver-side sequencer-mode ABCAST state for one group.
+
+    Holds data envelopes until their stamp arrives and delivers in
+    contiguous stamp order: stamp ``s`` is delivered only after stamps
+    ``1..s-1`` — never "least priority wins" across a gap, which would
+    let two sites with different stamp knowledge diverge.  Stamps from
+    the token site travel over the FIFO transport, so each site's stamp
+    knowledge is always a prefix of the token's order.
+
+    Exposes the same flush-facing surface as :class:`TotalOrderReceiver`
+    (``pending_state`` / ``delivered_priority`` / ``force_order`` / ...)
+    with stamps encoded as ``(seq, 0)`` priorities, so the engine and
+    :class:`~repro.core.flush.FlushCoordinator` are mode-agnostic.
+    """
+
+    __slots__ = ("site_id", "_held", "_stamps", "_ref_at", "_next_deliver",
+                 "_delivered_refs")
+
+    def __init__(self, site_id: int):
+        self.site_id = site_id
+        #: ref -> data envelope held but not yet delivered.
+        self._held: Dict[MsgRef, Message] = {}
+        #: ref -> stamp, for stamps known but not yet delivered.
+        self._stamps: Dict[MsgRef, int] = {}
+        #: stamp -> ref (inverse of _stamps).
+        self._ref_at: Dict[int, MsgRef] = {}
+        self._next_deliver = 1
+        #: ref -> (stamp, 0) priority it was delivered with.
+        self._delivered_refs: Dict[MsgRef, Priority] = {}
+
+    # -- data and stamps ----------------------------------------------------
+    def hold(self, ref: MsgRef, msg: Message) -> List[Message]:
+        """Buffer an arriving ABCAST; return messages now deliverable."""
+        if ref in self._delivered_refs or ref in self._held:
+            return []
+        self._held[ref] = msg
+        return self._drain()
+
+    def has_stamp(self, ref: MsgRef) -> bool:
+        return ref in self._stamps or ref in self._delivered_refs
+
+    def apply_stamps(self, pairs: List[Tuple[MsgRef, int]]) -> List[Message]:
+        """Record token-site stamps; return messages now deliverable."""
+        for ref, seq in pairs:
+            if ref in self._delivered_refs or ref in self._stamps:
+                continue  # duplicate stamp (retransmit / flush overlap)
+            self._stamps[ref] = seq
+            self._ref_at[seq] = ref
+        return self._drain()
+
+    def _drain(self) -> List[Message]:
+        out: List[Message] = []
+        while True:
+            ref = self._ref_at.get(self._next_deliver)
+            if ref is None:
+                break
+            msg = self._held.get(ref)
+            if msg is None:
+                break  # stamp known, data still in flight
+            del self._held[ref]
+            del self._ref_at[self._next_deliver]
+            seq = self._stamps.pop(ref)
+            self._delivered_refs[ref] = (seq, 0)
+            self._next_deliver += 1
+            out.append(msg)
+        return out
+
+    # -- flush support ------------------------------------------------------
+    def pending_state(self) -> List[Dict]:
+        """Wire-encodable snapshot of undelivered ABCAST state.
+
+        Includes stamps we know for data still in flight: the flush
+        coordinator must learn the stamped prefix even from sites that
+        hold the stamp but not (yet) the message.
+        """
+        out = []
+        for ref in sorted(set(self._held) | set(self._stamps)):
+            seq = self._stamps.get(ref)
+            if seq is not None:
+                entry = {"ref": list(ref), "prio": [seq, 0], "final": True}
+            else:
+                entry = {
+                    "ref": list(ref),
+                    "prio": [UNSTAMPED_BASE + ref[1], ref[0]],
+                    "final": False,
+                }
+            out.append(entry)
+        return out
+
+    def delivered_refs(self) -> List[MsgRef]:
+        return sorted(self._delivered_refs)
+
+    def delivered_priority(self, ref: MsgRef) -> Optional[Priority]:
+        return self._delivered_refs.get(ref)
+
+    def has_delivered(self, ref: MsgRef) -> bool:
+        return ref in self._delivered_refs
+
+    def force_order(self, order: List[Tuple[MsgRef, Priority]]) -> List[Message]:
+        """Apply a flush coordinator's final cut ordering.
+
+        The cut extends the stamp order (stamped prefix first, then the
+        deterministic unstamped tail), so delivering held messages in the
+        listed order agrees with every survivor's already-delivered
+        prefix.  Contiguity gating is dropped here: a stamp whose data no
+        survivor holds is skipped identically everywhere.
+        """
+        out: List[Message] = []
+        for ref_raw, prio_raw in order:
+            ref = (ref_raw[0], ref_raw[1])
+            msg = self._held.pop(ref, None)
+            if msg is None:
+                continue
+            seq = self._stamps.pop(ref, None)
+            if seq is not None:
+                self._ref_at.pop(seq, None)
+            self._delivered_refs[ref] = (prio_raw[0], prio_raw[1])
+            out.append(msg)
+        return out
+
+    def on_new_view(self) -> None:
+        """Reset for a new view (old-view messages all settled by flush)."""
+        self._held.clear()
+        self._stamps.clear()
+        self._ref_at.clear()
+        self._next_deliver = 1
+        self._delivered_refs.clear()
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._held)

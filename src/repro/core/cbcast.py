@@ -12,14 +12,27 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..msg.address import Address
 from ..msg.message import Message
-from .vectorclock import VectorClock, decode_context
-
-#: Decoded causal context: gid -> (view_id, delivered VectorClock).
-Context = Dict[Address, Tuple[int, VectorClock]]
+from .vectorclock import (
+    Context,
+    VectorClock,
+    decode_context,
+    decode_context_compact,
+)
 
 
 class CausalReceiver:
-    """Receiver-side causal ordering for one group at one kernel."""
+    """Receiver-side causal ordering for one group at one kernel.
+
+    Compact (bytes-form) ``cb_ctx`` fields are delta-chained per sender:
+    message *n* encodes only what changed since message *n-1*.  Because
+    the FIFO rule already forces delivery in contiguous ``cb_seq`` order,
+    the predecessor's absolute context is always known when a message
+    becomes a delivery candidate; reconstructed contexts are cached per
+    (sender, seq) so re-evaluating a blocked message never re-decodes.
+    """
+
+    __slots__ = ("delivered", "_pending", "_is_deliverable_ctx",
+                 "_ctx_chain", "_ctx_cache")
 
     def __init__(self, is_deliverable_ctx: Callable[[Context], bool]):
         #: Delivered CBCAST count per sending member (resets per view).
@@ -28,6 +41,10 @@ class CausalReceiver:
         #: Callback asking the kernel whether a cross-group causal context
         #: is satisfied (the kernel checks the *other* groups we belong to).
         self._is_deliverable_ctx = is_deliverable_ctx
+        #: Per-sender absolute context after their last delivered message.
+        self._ctx_chain: Dict[Address, Context] = {}
+        #: (sender, seq) -> reconstructed context awaiting delivery.
+        self._ctx_cache: Dict[Tuple[Address, int], Context] = {}
 
     def offer(self, msg: Message) -> List[Message]:
         """Feed one received CBCAST; return messages now deliverable, in order."""
@@ -47,6 +64,7 @@ class CausalReceiver:
                 if self._deliverable(msg):
                     self._pending.pop(i)
                     self.delivered.set(msg["cb_sender"], msg["cb_seq"])
+                    self._advance_chain(msg)
                     out.append(msg)
                     progress = True
                     break
@@ -57,8 +75,28 @@ class CausalReceiver:
         seq: int = msg["cb_seq"]
         if seq != self.delivered.get(sender) + 1:
             return False
-        context = decode_context(msg.get("cb_ctx", {}))
-        return self._is_deliverable_ctx(context)
+        return self._is_deliverable_ctx(self._context_of(msg, sender, seq))
+
+    def _context_of(self, msg: Message, sender: Address, seq: int) -> Context:
+        raw = msg.get("cb_ctx")
+        if raw is None:
+            return {}
+        if not isinstance(raw, (bytes, bytearray)):
+            return decode_context(raw)  # legacy dict encoding
+        key = (sender.process(), seq)
+        context = self._ctx_cache.get(key)
+        if context is None:
+            context = decode_context_compact(
+                bytes(raw), self._ctx_chain.get(key[0]))
+            self._ctx_cache[key] = context
+        return context
+
+    def _advance_chain(self, msg: Message) -> None:
+        """A message was delivered: its context becomes the chain base."""
+        key = (msg["cb_sender"].process(), msg["cb_seq"])
+        context = self._ctx_cache.pop(key, None)
+        if context is not None:
+            self._ctx_chain[key[0]] = context
 
     # -- view transitions ----------------------------------------------------
     def on_new_view(self) -> None:
@@ -70,6 +108,8 @@ class CausalReceiver:
         """
         self.delivered = VectorClock()
         self._pending.clear()
+        self._ctx_chain.clear()
+        self._ctx_cache.clear()
 
     @property
     def pending_count(self) -> int:

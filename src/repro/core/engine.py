@@ -31,6 +31,9 @@ optional piggybacked have-vector on data and ack envelopes):
 ``g.batch``             several same-destination data envelopes packed into
                         one wire message (+ piggybacked ``stab`` have-vector)
 ``g.abp`` / ``g.abf``   ABCAST proposal / final priority (+ ``stab``)
+``g.abs``               sequencer mode: batched order stamps from the
+                        token site (``view``, ``stamps=[[origin, gseq,
+                        seq], ...]`` + ``stab``)
 ``g.fl.begin``          wedge request (fid)
 ``g.fl.ok``             participant report: have-vector + ABCAST state
 ``g.fl.expect``         union cut a refilled site must reach

@@ -11,9 +11,13 @@ through the narrow :class:`DeliveryPipeline` interface:
   window every envelope is its own wire message, byte-for-byte what the
   unbatched system sent.
 * **Ordering** — :class:`CausalOrdering` (CBCAST: vector clocks,
-  per-sender FIFO) and :class:`TotalOrdering` (ABCAST: two-phase
-  priorities) decide *when* a buffered envelope may be handed to the
-  engine's delivery sink.
+  per-sender FIFO) and one of two total-order stages decide *when* a
+  buffered envelope may be handed to the engine's delivery sink:
+  :class:`TotalOrdering` (ABCAST: the paper's two-phase priorities) or
+  :class:`SequencerOrdering` (``IsisConfig.abcast_mode = "sequencer"``:
+  the lowest-ranked member site of the view holds the *token* and
+  broadcasts batched ``g.abs`` order stamps — one phase, O(1) extra
+  messages per ABCAST in steady state).
 * :class:`StabilityStage` — tracks which messages are known received
   everywhere.  Have-vectors piggyback on outgoing data envelopes,
   batches and ABCAST acks, so :meth:`MessageStore.trim_stable` advances
@@ -30,15 +34,25 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from ..errors import CodecError, SiteDown
+from ..errors import CodecError, GroupError, SiteDown
 from ..msg.address import Address
-from ..msg.fields import decode_have_vector, encode_have_vector
+from ..msg.fields import (
+    decode_have_vector,
+    diff_have_vector,
+    encode_have_vector,
+)
 from ..msg.message import BATCH_PROTO, Message, pack_batch, unpack_batch
 from ..sim.core import Timer
 from ..sim.tasks import Promise
-from .abcast import MsgRef, Priority, TotalOrderReceiver, TotalOrderSender
+from .abcast import (
+    MsgRef,
+    Priority,
+    SequencerReceiver,
+    TotalOrderReceiver,
+    TotalOrderSender,
+)
 from .cbcast import CausalReceiver
-from .vectorclock import encode_context
+from .vectorclock import encode_context, encode_context_compact
 
 if TYPE_CHECKING:  # pragma: no cover
     from .engine import GroupEngine
@@ -79,6 +93,9 @@ class DisseminationStage:
         self._send_seq = 0
         #: destination site -> coalescing buffer.
         self._buffers: Dict[int, _BatchBuffer] = {}
+        #: destination site -> (view_id, have-vector) last piggybacked on
+        #: a batch to that peer; batch stabs are delta-encoded against it.
+        self._last_stab: Dict[int, Tuple[int, Dict[int, int]]] = {}
         self.batches_sent = 0
         self.envelopes_batched = 0
 
@@ -137,10 +154,7 @@ class DisseminationStage:
                     SiteDown(f"site {self.engine.site_id} is down"))
             return
         envelopes = [env for env, _ in buf.entries]
-        stab = stab_view = None
-        if self.kernel.config.piggyback_stability and self.engine.view is not None:
-            stab = self.engine.store.have_vector()
-            stab_view = self.engine.view.view_id
+        stab, stab_view = self._stab_for(dst_site)
         batch = pack_batch(self.engine.gid, envelopes, stab, stab_view)
         self.batches_sent += 1
         self.envelopes_batched += len(envelopes)
@@ -158,6 +172,33 @@ class DisseminationStage:
 
         sent.add_done_callback(settle)
 
+    def _stab_for(self, dst_site: int):
+        """Have-vector to piggyback on a batch to ``dst_site``.
+
+        Delta-encoded against the last vector sent to that peer within
+        the same view: only origins whose top advanced are included (the
+        receiver max-merges, so a subset is always safe).  The first
+        batch of a view carries the full vector.  A peer that misses a
+        delta (e.g. it lagged installing the view) merely trims later —
+        announcements and the fallback round carry full vectors.
+        """
+        if (not self.kernel.config.piggyback_stability
+                or self.engine.view is None):
+            return None, None
+        have = self.engine.store.have_vector()
+        view_id = self.engine.view.view_id
+        if not self.kernel.config.compact_contexts:
+            return have, view_id  # legacy: full vector on every batch
+        prev = self._last_stab.get(dst_site)
+        if prev is not None and prev[0] == view_id:
+            send = diff_have_vector(prev[1], have)
+        else:
+            send = have
+        self._last_stab[dst_site] = (view_id, have)
+        if not send:
+            return None, None
+        return send, view_id
+
     def flush_all(self) -> None:
         """Drain every coalescing buffer now (wedge / urgent points)."""
         for dst_site in list(self._buffers):
@@ -168,15 +209,26 @@ class DisseminationStage:
         return sum(len(buf.entries) for buf in self._buffers.values())
 
     def on_new_view(self) -> None:
-        # Buffers were drained at wedge time; per-view sequence restarts.
+        # Buffers were drained at wedge time; per-view sequence restarts,
+        # and stab delta chains restart (have-vectors are per-view).
         self._send_seq = 0
+        self._last_stab.clear()
 
 
 # ----------------------------------------------------------------------
 # Ordering
 # ----------------------------------------------------------------------
 class CausalOrdering:
-    """CBCAST stage: vector-clock causal delivery."""
+    """CBCAST stage: vector-clock causal delivery.
+
+    With ``IsisConfig.compact_contexts`` (the default) the causal
+    context rides as a delta-chained binary field: message *n* of a
+    sender carries only the context entries that changed since its
+    message *n-1* (packed addresses + varints), instead of the generic
+    nested-dict encoding whose hex keys dominate ``g.cb`` frame bytes.
+    The receiver reconstructs absolute contexts in ``cb_seq`` order (see
+    :class:`~repro.core.cbcast.CausalReceiver`).
+    """
 
     def __init__(self, engine: "GroupEngine", pipeline: "DeliveryPipeline"):
         self.engine = engine
@@ -184,14 +236,23 @@ class CausalOrdering:
         self.receiver = CausalReceiver(engine.kernel.check_context)
         #: Per-sender CBCAST count within the current view (send side).
         self._counts: Dict[Address, int] = {}
+        #: Per-sender context as of the last envelope sent (delta base).
+        self._last_ctx: Dict[Address, Dict] = {}
 
     def stamp(self, env: Message, sender: Address) -> None:
         """Send side: attach causal metadata to an outgoing envelope."""
-        count = self._counts.get(sender.process(), 0) + 1
-        self._counts[sender.process()] = count
-        env["cb_sender"] = sender.process()
+        key = sender.process()
+        count = self._counts.get(key, 0) + 1
+        self._counts[key] = count
+        env["cb_sender"] = key
         env["cb_seq"] = count
-        env["cb_ctx"] = encode_context(self.engine.kernel.causal_context())
+        context = self.engine.kernel.causal_context()
+        if self.engine.kernel.config.compact_contexts:
+            env["cb_ctx"] = encode_context_compact(
+                context, self._last_ctx.get(key))
+            self._last_ctx[key] = context
+        else:
+            env["cb_ctx"] = encode_context(context)
 
     def ingest(self, env: Message) -> None:
         """Receive side: queue, deliver whatever became deliverable."""
@@ -202,6 +263,7 @@ class CausalOrdering:
     def on_new_view(self) -> None:
         self.receiver.on_new_view()
         self._counts.clear()
+        self._last_ctx.clear()
 
 
 class TotalOrdering:
@@ -212,6 +274,11 @@ class TotalOrdering:
         self.pipeline = pipeline
         self.receiver = TotalOrderReceiver(engine.site_id)
         self.sender = TotalOrderSender()
+        #: Wire protocol messages this stage sent (``g.abp`` / ``g.abf``).
+        self.proposals_sent = 0
+        self.finals_sent = 0
+        self.stamps_sent = 0      # always 0 in two-phase mode
+        self.token_handoffs = 0   # always 0 in two-phase mode
 
     def stamp(self, env: Message, sender: Address) -> None:
         """Send side: open a proposal collection for this envelope."""
@@ -230,6 +297,8 @@ class TotalOrdering:
             note = Message(_proto="g.abp", gid=self.engine.gid,
                            ref=list(ref), prio=list(priority))
             self.pipeline.stability.attach(note)
+            self.proposals_sent += 1
+            self.engine.sim.trace.bump("abcast.proposals")
             self.engine.kernel.send_to_site(env["origin"], note)
 
     def on_proposal(self, src_site: int, msg: Message) -> None:
@@ -250,6 +319,8 @@ class TotalOrdering:
         self.pipeline.stability.attach(note)
         for site in self.engine.view.member_sites():
             if site != self.engine.site_id:
+                self.finals_sent += 1
+                self.engine.sim.trace.bump("abcast.finals")
                 self.engine.kernel.send_to_site(site, note)
         self.apply_final(ref, final)
 
@@ -269,9 +340,203 @@ class TotalOrdering:
                 else final)
             self.engine.deliver_env(ready)
 
+    def on_stamps(self, src_site: int, msg: Message) -> None:
+        # A ``g.abs`` stamp can only come from a sequencer-mode kernel;
+        # modes are a cluster-wide configuration, so this is noise.
+        self.engine.sim.trace.bump("abcast.unexpected_control")
+
+    def on_wedge(self) -> None:
+        pass
+
     def on_new_view(self) -> None:
         self.receiver.on_new_view()
         self.sender.abandon_all()
+
+
+class SequencerOrdering:
+    """ABCAST stage: one-phase total order via a token-site sequencer.
+
+    The lowest-ranked (oldest) member's site of the current view holds
+    the *token*.  Senders disseminate ``g.ab`` data envelopes exactly as
+    in two-phase mode, but nobody proposes priorities: the token site
+    assigns each envelope the next dense per-view sequence number and
+    broadcasts ``g.abs`` stamp messages.  Stamps batch — one ``g.abs``
+    can order many refs, accumulated over ``IsisConfig.batch_window`` —
+    so the steady-state protocol cost per ABCAST is O(1) messages
+    instead of the two-phase O(n) proposals plus finals.
+
+    Token handoff needs no extra protocol: the token is a pure function
+    of the view, and a view change runs the flush, whose reports carry
+    each survivor's stamped prefix (as ``(seq, 0)`` priorities).  The
+    coordinator's union cut orders stamped messages first, then the
+    deterministic unstamped tail, so all survivors deliver the same
+    sequence across the cut; the new view's lowest-ranked member site
+    then stamps from 1 again.
+    """
+
+    def __init__(self, engine: "GroupEngine", pipeline: "DeliveryPipeline"):
+        self.engine = engine
+        self.pipeline = pipeline
+        self.receiver = SequencerReceiver(engine.site_id)
+        #: Inert in sequencer mode; kept so the engine's flush/failure
+        #: paths (``tsender.drop_site`` etc.) stay mode-agnostic.
+        self.sender = TotalOrderSender()
+        #: Token side: next stamp to assign (dense, per view).
+        self._next_stamp = 1
+        #: Token side: stamps accumulating for the next ``g.abs``.
+        self._pending: List[List[int]] = []
+        self._stamp_timer: Optional[Timer] = None
+        #: Stamps for views we have not installed yet.
+        self._future_stamps: List[Tuple[int, List[List[int]]]] = []
+        #: Token site of the view at the last view change (handoff count).
+        self._token_site: Optional[int] = None
+        self.proposals_sent = 0   # always 0 in sequencer mode
+        self.finals_sent = 0      # always 0 in sequencer mode
+        self.stamps_sent = 0
+        self.token_handoffs = 0
+
+    # -- token identity ----------------------------------------------------
+    def token_site(self) -> Optional[int]:
+        """The site holding the token: the lowest-ranked member's site."""
+        view = self.engine.view
+        if view is None or not view.members:
+            return None
+        return view.members[0].site
+
+    def is_token(self) -> bool:
+        return self.token_site() == self.engine.site_id
+
+    # -- send side ---------------------------------------------------------
+    def stamp(self, env: Message, sender: Address) -> None:
+        """Send side: no proposal collection — ordering is the token's."""
+        env["ab_sender"] = sender.process()
+
+    # -- receive side ------------------------------------------------------
+    def ingest(self, env: Message) -> None:
+        """Buffer a data envelope; the token site also assigns its stamp.
+
+        No stamps are assigned while the group is wedged: the token's
+        FLUSH_OK report already went out, so a post-report stamp would be
+        invisible to the coordinator's cut — the cut itself orders (or
+        excludes) everything that arrives mid-flush.  Stamps assigned
+        *before* the wedge are in the report and may keep delivering.
+        """
+        ref: MsgRef = (env["origin"], env["gseq"])
+        for ready in self.receiver.hold(ref, env):
+            self._deliver(ready)
+        if (self.is_token() and not self.engine.wedged
+                and not self.receiver.has_stamp(ref)):
+            seq = self._next_stamp
+            self._next_stamp += 1
+            self._queue_stamp(ref, seq)
+            for ready in self.receiver.apply_stamps([(ref, seq)]):
+                self._deliver(ready)
+
+    def on_stamps(self, src_site: int, msg: Message) -> None:
+        """A ``g.abs`` arrived: apply its (ref, seq) pairs.
+
+        Current-view stamps arriving while wedged are dropped, mirroring
+        the no-assignment-while-wedged rule: our FLUSH_OK report already
+        went out, so applying them could deliver at stamp positions the
+        coordinator's cut does not know about.  When the token is the
+        flush coordinator (the normal case) this never triggers — its
+        stamps precede ``g.fl.begin`` on the same FIFO channel; it only
+        catches a suspected-but-alive token racing a removal flush, and
+        the cut settles every such ref deterministically anyway.
+        """
+        engine = self.engine
+        view_id = msg["view"]
+        if not engine.installed or engine.view is None \
+                or view_id > engine.view.view_id:
+            # Stamps for a view we have not installed yet: hold them
+            # (dropping would stall those refs until the next flush).
+            self._future_stamps.append((view_id, msg["stamps"]))
+            return
+        if view_id < engine.view.view_id:
+            engine.sim.trace.bump("abcast.stale_stamps")
+            return
+        if engine.wedged:
+            engine.sim.trace.bump("abcast.wedged_stamps_dropped")
+            return
+        pairs = [((s[0], s[1]), s[2]) for s in msg["stamps"]]
+        for ready in self.receiver.apply_stamps(pairs):
+            self._deliver(ready)
+
+    def on_proposal(self, src_site: int, msg: Message) -> None:
+        self.engine.sim.trace.bump("abcast.unexpected_control")
+
+    def on_final(self, msg: Message) -> None:
+        self.engine.sim.trace.bump("abcast.unexpected_control")
+
+    def _deliver(self, env: Message) -> None:
+        ref: MsgRef = (env["origin"], env["gseq"])
+        prio = self.receiver.delivered_priority(ref)
+        if prio is not None:
+            self.engine.note_final_delivered(ref, prio)
+        self.engine.deliver_env(env)
+
+    # -- stamp batching ----------------------------------------------------
+    def _queue_stamp(self, ref: MsgRef, seq: int) -> None:
+        self._pending.append([ref[0], ref[1], seq])
+        window = self.engine.kernel.config.batch_window
+        if window <= 0:
+            self.flush_stamps()
+        elif self._stamp_timer is None:
+            self._stamp_timer = self.engine.sim.call_after(
+                window, self.flush_stamps)
+
+    def flush_stamps(self) -> None:
+        """Broadcast accumulated stamps as one ``g.abs`` per peer site."""
+        if self._stamp_timer is not None:
+            self._stamp_timer.cancel()
+            self._stamp_timer = None
+        if not self._pending:
+            return
+        engine = self.engine
+        view = engine.view
+        stamps, self._pending = self._pending, []
+        if view is None or not engine.kernel.alive:
+            return
+        note = Message(_proto="g.abs", gid=engine.gid,
+                       view=view.view_id, stamps=stamps)
+        self.pipeline.stability.attach(note)
+        engine.sim.trace.bump("abcast.stamped_refs", len(stamps))
+        for site in view.member_sites():
+            if site != engine.site_id:
+                self.stamps_sent += 1
+                engine.sim.trace.bump("abcast.seq_stamps")
+                engine.kernel.send_to_site(site, note)
+
+    # -- view lifecycle ----------------------------------------------------
+    def on_wedge(self) -> None:
+        """Flush starting: push pending stamps out ahead of the reports."""
+        self.flush_stamps()
+
+    def on_new_view(self) -> None:
+        self.receiver.on_new_view()
+        self.sender.abandon_all()
+        self._pending.clear()
+        if self._stamp_timer is not None:
+            self._stamp_timer.cancel()
+            self._stamp_timer = None
+        self._next_stamp = 1
+        old_token = self._token_site
+        self._token_site = self.token_site()
+        if (self._token_site == self.engine.site_id
+                and old_token is not None and old_token != self._token_site):
+            self.token_handoffs += 1
+            self.engine.sim.trace.bump("abcast.token_handoffs")
+        # Replay stamps that raced ahead of our view installation.
+        if self._future_stamps and self.engine.view is not None:
+            current = self.engine.view.view_id
+            ready = [s for v, s in self._future_stamps if v == current]
+            self._future_stamps = [
+                (v, s) for v, s in self._future_stamps if v > current
+            ]
+            for stamps in ready:
+                pairs = [((s[0], s[1]), s[2]) for s in stamps]
+                for env in self.receiver.apply_stamps(pairs):
+                    self._deliver(env)
 
 
 # ----------------------------------------------------------------------
@@ -486,7 +751,7 @@ class DeliveryPipeline:
 
     #: Wire protocols the pipeline consumes (engine routes these here).
     WIRE_PROTOS = frozenset({
-        BATCH_PROTO, "g.cb", "g.ab", "g.abp", "g.abf",
+        BATCH_PROTO, "g.cb", "g.ab", "g.abp", "g.abf", "g.abs",
         "g.stab.q", "g.stab.a", "g.stab.trim",
     })
 
@@ -494,7 +759,14 @@ class DeliveryPipeline:
         self.engine = engine
         self.dissemination = DisseminationStage(engine, self)
         self.causal = CausalOrdering(engine, self)
-        self.total = TotalOrdering(engine, self)
+        mode = engine.kernel.config.abcast_mode
+        if mode == "sequencer":
+            self.total = SequencerOrdering(engine, self)
+        elif mode == "two_phase":
+            self.total = TotalOrdering(engine, self)
+        else:
+            raise GroupError(f"unknown abcast_mode {mode!r} "
+                             "(expected 'two_phase' or 'sequencer')")
         self.stability = StabilityStage(engine, self)
         #: Envelopes for views we have not installed yet.
         self._pre_view: List[Tuple[int, Message]] = []
@@ -542,6 +814,9 @@ class DeliveryPipeline:
         elif proto == "g.abf":
             self.stability.ingest_env(src_site, msg)
             self.total.on_final(msg)
+        elif proto == "g.abs":
+            self.stability.ingest_env(src_site, msg)
+            self.total.on_stamps(src_site, msg)
         elif proto == "g.stab.q":
             self.stability.on_query(src_site, msg)
         elif proto == "g.stab.a":
@@ -609,8 +884,10 @@ class DeliveryPipeline:
             self.ingest_data(env["origin"], env)
 
     def on_wedge(self) -> None:
-        """Flush in progress: push buffered batches out ahead of reports."""
+        """Flush in progress: push buffered batches and stamps out ahead
+        of the reports."""
         self.dissemination.flush_all()
+        self.total.on_wedge()
 
     def on_new_view(self) -> None:
         self.dissemination.on_new_view()

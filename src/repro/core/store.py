@@ -30,6 +30,9 @@ Tag = Tuple[int, int]  # (origin_site, gseq) within the current view
 class MessageStore:
     """Buffered group messages for one group at one member kernel."""
 
+    __slots__ = ("_messages", "_contiguous", "_gapped", "_sizes",
+                 "_buffered_bytes", "trimmed_total")
+
     def __init__(self) -> None:
         self._messages: Dict[Tag, Message] = {}
         #: Per origin site: highest contiguous gseq seen (gseq starts at 1).

@@ -25,9 +25,11 @@ Delivery rule for message ``m`` from sender ``p`` in group ``g``:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
-from ..msg.address import Address
+from ..errors import CodecError
+from ..msg.address import ADDRESS_SIZE, Address
+from ..msg.fields import decode_uvarint, encode_uvarint
 
 
 class VectorClock:
@@ -132,3 +134,126 @@ def decode_context(value: Mapping[str, Mapping]) -> Dict[Address, "tuple[int, Ve
         )
         for key, entry in value.items()
     }
+
+
+# ----------------------------------------------------------------------
+# Compact binary context codec (delta-chained)
+# ----------------------------------------------------------------------
+# The generic dict encoding above costs ~45 bytes per vector-clock entry
+# (hex-string keys, nested dict framing); at scale the ``cb_ctx`` header
+# dominates CBCAST frame bytes.  The compact form packs addresses raw
+# (8 bytes) and counters as LEB128 varints, and chains consecutive
+# messages of one sender: message *n* carries only the entries that
+# changed since message *n-1*.  The receiver reconstructs the absolute
+# context at delivery time — per-sender FIFO delivery (``cb_seq``
+# contiguity) guarantees the predecessor context is always known.
+
+Context = Dict[Address, Tuple[int, "VectorClock"]]
+
+_CTX_FULL = 0
+_CTX_DELTA = 1
+
+
+def encode_context_compact(context: Context,
+                           prev: Optional[Context] = None) -> bytes:
+    """Binary context encoding; delta against ``prev`` when given.
+
+    A delta entry for a group present in ``prev`` *with the same view*
+    carries only the counters that changed; a group that is new or whose
+    view advanced carries its full vector (the receiver replaces the
+    whole entry, since vectors reset per view).  Groups absent from
+    ``context`` but present in ``prev`` are listed as removals.
+    """
+    if prev is None:
+        parts = [bytes([_CTX_FULL]), encode_uvarint(len(context))]
+        for gid, (view_id, vc) in sorted(context.items(),
+                                         key=lambda kv: kv[0].pack()):
+            parts.append(_encode_ctx_entry(gid, view_id, dict(vc.items())))
+        return b"".join(parts)
+    entries = []
+    for gid, (view_id, vc) in sorted(context.items(),
+                                     key=lambda kv: kv[0].pack()):
+        prev_entry = prev.get(gid)
+        if prev_entry is not None and prev_entry[0] == view_id:
+            prev_vc = prev_entry[1]
+            changed = {m: c for m, c in vc.items() if prev_vc.get(m) != c}
+            if changed:
+                entries.append(_encode_ctx_entry(gid, view_id, changed))
+        else:
+            entries.append(_encode_ctx_entry(gid, view_id, dict(vc.items())))
+    removed = [gid for gid in prev if gid not in context]
+    parts = [bytes([_CTX_DELTA]), encode_uvarint(len(entries))]
+    parts.extend(entries)
+    parts.append(encode_uvarint(len(removed)))
+    parts.extend(gid.pack() for gid in sorted(removed,
+                                              key=lambda g: g.pack()))
+    return b"".join(parts)
+
+
+def _encode_ctx_entry(gid: Address, view_id: int,
+                      counters: Dict[Address, int]) -> bytes:
+    parts = [gid.pack(), encode_uvarint(view_id),
+             encode_uvarint(len(counters))]
+    for member, count in sorted(counters.items(), key=lambda kv: kv[0].pack()):
+        parts.append(member.pack())
+        parts.append(encode_uvarint(count))
+    return b"".join(parts)
+
+
+def decode_context_compact(data: bytes,
+                           prev: Optional[Context] = None) -> Context:
+    """Inverse of :func:`encode_context_compact`.
+
+    ``prev`` must be the absolute context reconstructed from the same
+    sender's previous message when ``data`` is a delta.  Unchanged
+    entries alias ``prev``'s vector clocks, which is safe because
+    reconstructed contexts are never mutated in place.
+    """
+    if not data:
+        raise CodecError("empty compact context")
+    kind = data[0]
+    offset = 1
+    if kind not in (_CTX_FULL, _CTX_DELTA):
+        raise CodecError(f"unknown compact-context kind {kind}")
+    if kind == _CTX_DELTA and prev is None:
+        raise CodecError("delta context without a predecessor")
+    count, offset = decode_uvarint(data, offset)
+    out: Context = dict(prev) if kind == _CTX_DELTA else {}
+    for _ in range(count):
+        gid, view_id, counters, offset = _decode_ctx_entry(data, offset)
+        prev_entry = out.get(gid)
+        if (kind == _CTX_DELTA and prev_entry is not None
+                and prev_entry[0] == view_id):
+            vc = prev_entry[1].copy()
+            for member, value in counters.items():
+                vc.set(member, value)
+        else:
+            vc = VectorClock(counters)
+        out[gid] = (view_id, vc)
+    if kind == _CTX_DELTA:
+        removed, offset = decode_uvarint(data, offset)
+        for _ in range(removed):
+            gid, offset = _read_address(data, offset)
+            out.pop(gid, None)
+    if offset != len(data):
+        raise CodecError(f"{len(data) - offset} trailing bytes after "
+                         "compact context")
+    return out
+
+
+def _decode_ctx_entry(data: bytes, offset: int):
+    gid, offset = _read_address(data, offset)
+    view_id, offset = decode_uvarint(data, offset)
+    n, offset = decode_uvarint(data, offset)
+    counters: Dict[Address, int] = {}
+    for _ in range(n):
+        member, offset = _read_address(data, offset)
+        counters[member], offset = decode_uvarint(data, offset)
+    return gid, view_id, counters, offset
+
+
+def _read_address(data: bytes, offset: int) -> Tuple[Address, int]:
+    if offset + ADDRESS_SIZE > len(data):
+        raise CodecError("truncated address in compact context")
+    addr = Address.unpack(data[offset:offset + ADDRESS_SIZE])
+    return addr, offset + ADDRESS_SIZE

@@ -206,6 +206,20 @@ def encode_have_vector(have: "dict[int, int]") -> bytes:
     return b"".join(parts)
 
 
+def diff_have_vector(prev: "dict[int, int]",
+                     cur: "dict[int, int]") -> "dict[int, int]":
+    """Entries of ``cur`` that advanced past ``prev``.
+
+    Have-vectors are monotone within a view and receivers max-merge what
+    they learn, so piggybacking only the advanced entries (delta against
+    the last vector sent to that peer) is always safe — a peer that
+    misses a delta merely trims later, repaired by the next full vector
+    (announcements and fallback rounds are never delta-encoded).
+    """
+    return {site: top for site, top in cur.items()
+            if top > prev.get(site, 0)}
+
+
 def decode_have_vector(data: bytes) -> "dict[int, int]":
     """Inverse of :func:`encode_have_vector`."""
     count, offset = decode_uvarint(data, 0)

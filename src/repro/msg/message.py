@@ -43,11 +43,13 @@ _MAGIC = 0x49D2  # "ISis"
 class Message:
     """Ordered mapping of field name → value with a binary codec."""
 
-    __slots__ = ("_fields", "_encoded_size")
+    __slots__ = ("_fields", "_encoded")
 
     def __init__(self, **fields: Any):
         self._fields: Dict[str, Any] = {}
-        self._encoded_size: Optional[int] = None
+        #: Cached wire bytes; an envelope fanned out to k destination
+        #: sites (or packed into k batches) encodes once, not k times.
+        self._encoded: Optional[bytes] = None
         for name, value in fields.items():
             self[name] = value
 
@@ -56,7 +58,7 @@ class Message:
         if not isinstance(name, str) or not name:
             raise CodecError(f"field name must be a non-empty str, got {name!r}")
         self._fields[name] = value
-        self._encoded_size = None
+        self._encoded = None
 
     def __getitem__(self, name: str) -> Any:
         try:
@@ -66,7 +68,7 @@ class Message:
 
     def __delitem__(self, name: str) -> None:
         del self._fields[name]
-        self._encoded_size = None
+        self._encoded = None
 
     def __contains__(self, name: str) -> bool:
         return name in self._fields
@@ -114,11 +116,19 @@ class Message:
         """Independent copy (field values are shared, names are not)."""
         out = Message()
         out._fields = dict(self._fields)
+        out._encoded = self._encoded  # identical fields, identical bytes
         return out
 
     # -- codec ----------------------------------------------------------------
     def encode(self) -> bytes:
-        """Binary encoding: magic, field count, then name/value pairs."""
+        """Binary encoding: magic, field count, then name/value pairs.
+
+        Cached until a field is inserted or deleted; like
+        :attr:`size_bytes`, the cache does not observe in-place mutation
+        of nested values (kernel code always copies before mutating).
+        """
+        if self._encoded is not None:
+            return self._encoded
         parts = [_U16.pack(_MAGIC), _U16.pack(len(self._fields))]
         for name, value in self._fields.items():
             raw_name = name.encode("utf-8")
@@ -127,7 +137,8 @@ class Message:
             parts.append(_U16.pack(len(raw_name)))
             parts.append(raw_name)
             parts.append(encode_value(value))
-        return b"".join(parts)
+        self._encoded = b"".join(parts)
+        return self._encoded
 
     @classmethod
     def decode(cls, data: bytes) -> "Message":
@@ -153,14 +164,16 @@ class Message:
             out._fields[name] = value
         if offset != len(data):
             raise CodecError(f"{len(data) - offset} trailing bytes after message")
+        # The codec is canonical (field order and every value round-trip
+        # exactly), so the input bytes ARE the encoding: re-encoding a
+        # decoded message — loopback hops, refill re-sends — is free.
+        out._encoded = bytes(data)
         return out
 
     @property
     def size_bytes(self) -> int:
         """Encoded size in bytes (cached until the message is mutated)."""
-        if self._encoded_size is None:
-            self._encoded_size = len(self.encode())
-        return self._encoded_size
+        return len(self.encode())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         keys = ", ".join(sorted(self._fields))

@@ -1,0 +1,207 @@
+"""Unit tests: sequencer-mode ABCAST state, compact contexts, caching."""
+
+import pytest
+
+from repro import IsisCluster, IsisConfig, Message
+from repro.core.abcast import UNSTAMPED_BASE, SequencerReceiver
+from repro.core.vectorclock import (
+    VectorClock,
+    decode_context_compact,
+    encode_context,
+    encode_context_compact,
+)
+from repro.errors import CodecError
+from repro.msg.address import make_group_address, make_process_address
+
+
+def _env(origin, gseq):
+    return Message(_proto="g.ab", origin=origin, gseq=gseq, m=Message())
+
+
+class TestSequencerReceiver:
+    def test_data_then_stamp_delivers(self):
+        rx = SequencerReceiver(site_id=1)
+        assert rx.hold((0, 1), _env(0, 1)) == []
+        out = rx.apply_stamps([((0, 1), 1)])
+        assert [(m["origin"], m["gseq"]) for m in out] == [(0, 1)]
+        assert rx.delivered_priority((0, 1)) == (1, 0)
+
+    def test_stamp_then_data_delivers(self):
+        rx = SequencerReceiver(site_id=1)
+        assert rx.apply_stamps([((2, 5), 1)]) == []
+        out = rx.hold((2, 5), _env(2, 5))
+        assert [(m["origin"], m["gseq"]) for m in out] == [(2, 5)]
+
+    def test_contiguous_stamp_gating(self):
+        """Stamp 2 with data must wait for stamp 1 (no skipping gaps)."""
+        rx = SequencerReceiver(site_id=1)
+        rx.hold((0, 1), _env(0, 1))
+        rx.hold((3, 1), _env(3, 1))
+        # Stamp 2 arrives first (its data is held) — must NOT deliver.
+        assert rx.apply_stamps([((3, 1), 2)]) == []
+        # Stamp 1 unblocks both, in stamp order.
+        out = rx.apply_stamps([((0, 1), 1)])
+        assert [(m["origin"], m["gseq"]) for m in out] == [(0, 1), (3, 1)]
+
+    def test_stamp_known_data_missing_blocks_later_stamps(self):
+        rx = SequencerReceiver(site_id=1)
+        rx.apply_stamps([((0, 1), 1), ((0, 2), 2)])
+        rx.hold((0, 2), _env(0, 2))  # data for stamp 2 only
+        assert rx.pending_count == 1
+        assert rx.delivered_refs() == []
+        out = rx.hold((0, 1), _env(0, 1))
+        assert [(m["origin"], m["gseq"]) for m in out] == [(0, 1), (0, 2)]
+
+    def test_duplicate_stamps_and_data_ignored(self):
+        rx = SequencerReceiver(site_id=1)
+        rx.hold((0, 1), _env(0, 1))
+        rx.apply_stamps([((0, 1), 1)])
+        assert rx.apply_stamps([((0, 1), 1)]) == []
+        assert rx.hold((0, 1), _env(0, 1)) == []
+        assert rx.delivered_refs() == [(0, 1)]
+
+    def test_pending_state_shape(self):
+        rx = SequencerReceiver(site_id=1)
+        rx.hold((0, 3), _env(0, 3))          # unstamped, held
+        rx.apply_stamps([((2, 1), 4)])        # stamped, data in flight
+        state = {tuple(e["ref"]): e for e in rx.pending_state()}
+        assert state[(2, 1)]["final"] is True
+        assert state[(2, 1)]["prio"] == [4, 0]
+        assert state[(0, 3)]["final"] is False
+        assert state[(0, 3)]["prio"] == [UNSTAMPED_BASE + 3, 0]
+
+    def test_force_order_delivers_listed_order_skips_unheld(self):
+        rx = SequencerReceiver(site_id=1)
+        rx.hold((0, 1), _env(0, 1))
+        rx.hold((2, 1), _env(2, 1))
+        rx.apply_stamps([((2, 1), 7)])  # stamped but gated (stamps 1..6 unknown)
+        out = rx.force_order([
+            [(2, 1), (7, 0)],
+            [(9, 9), (8, 0)],                      # held nowhere: skipped
+            [(0, 1), (UNSTAMPED_BASE + 1, 0)],
+        ])
+        assert [(m["origin"], m["gseq"]) for m in out] == [(2, 1), (0, 1)]
+        assert rx.pending_count == 0
+        assert rx.delivered_priority((0, 1)) == (UNSTAMPED_BASE + 1, 0)
+
+    def test_on_new_view_resets(self):
+        rx = SequencerReceiver(site_id=1)
+        rx.hold((0, 1), _env(0, 1))
+        rx.apply_stamps([((0, 1), 1), ((0, 2), 2)])
+        rx.on_new_view()
+        assert rx.pending_count == 0
+        assert rx.delivered_refs() == []
+        # Fresh view: stamp numbering restarts at 1.
+        rx.hold((0, 1), _env(0, 1))
+        assert len(rx.apply_stamps([((0, 1), 1)])) == 1
+
+
+def _ctx(*entries):
+    """entries: (group_no, view_id, {member_no: count})"""
+    out = {}
+    for group_no, view_id, counts in entries:
+        gid = make_group_address(0, group_no)
+        vc = VectorClock({
+            make_process_address(0, 1, m): c for m, c in counts.items()
+        })
+        out[gid.process()] = (view_id, vc)
+    return out
+
+
+def _same_ctx(a, b):
+    assert set(a) == set(b)
+    for gid in a:
+        assert a[gid][0] == b[gid][0]
+        assert a[gid][1] == b[gid][1]
+
+
+class TestCompactContextCodec:
+    def test_full_roundtrip(self):
+        ctx = _ctx((1, 3, {7: 2, 8: 5}), (2, 1, {9: 1}))
+        decoded = decode_context_compact(encode_context_compact(ctx))
+        _same_ctx(decoded, ctx)
+
+    def test_full_is_much_smaller_than_dict_encoding(self):
+        ctx = _ctx((1, 3, {m: m for m in range(1, 9)}))
+        compact = Message(c=encode_context_compact(ctx)).size_bytes
+        legacy = Message(c=encode_context(ctx)).size_bytes
+        assert compact < legacy / 2.5
+
+    def test_delta_chain_reconstructs_absolute_contexts(self):
+        c1 = _ctx((1, 1, {7: 1}))
+        c2 = _ctx((1, 1, {7: 2, 8: 1}), (2, 1, {9: 4}))   # counts grow, group added
+        c3 = _ctx((1, 2, {7: 1}))                          # view advance + removal
+        prev_abs = None
+        prev_sent = None
+        for cur in (c1, c2, c3):
+            data = encode_context_compact(cur, prev_sent)
+            decoded = decode_context_compact(data, prev_abs)
+            _same_ctx(decoded, cur)
+            prev_abs = decoded
+            prev_sent = cur
+
+    def test_delta_smaller_than_full(self):
+        c1 = _ctx((1, 1, {m: 10 for m in range(1, 9)}))
+        counts = {m: 10 for m in range(1, 9)}
+        counts[3] = 11
+        c2 = _ctx((1, 1, counts))
+        full = encode_context_compact(c2)
+        delta = encode_context_compact(c2, c1)
+        assert len(delta) < len(full)
+
+    def test_delta_without_predecessor_raises(self):
+        c1 = _ctx((1, 1, {7: 1}))
+        c2 = _ctx((1, 1, {7: 2}))
+        delta = encode_context_compact(c2, c1)
+        with pytest.raises(CodecError):
+            decode_context_compact(delta, None)
+
+    def test_trailing_garbage_raises(self):
+        data = encode_context_compact(_ctx((1, 1, {7: 1})))
+        with pytest.raises(CodecError):
+            decode_context_compact(data + b"\x00")
+
+
+class TestMessageEncodeCache:
+    def test_encode_cached_until_mutation(self):
+        msg = Message(a=1, b="x")
+        first = msg.encode()
+        assert msg.encode() is first
+        msg["c"] = 2
+        second = msg.encode()
+        assert second != first
+        assert msg.encode() is second
+
+    def test_decode_seeds_cache_canonically(self):
+        msg = Message(a=1, b=[1, 2, {"k": b"v"}], m=Message(x=1.5))
+        data = msg.encode()
+        decoded = Message.decode(data)
+        assert decoded.encode() == data
+        assert decoded.size_bytes == len(data)
+
+    def test_copy_shares_cache_but_not_invalidation(self):
+        msg = Message(a=1)
+        data = msg.encode()
+        copy = msg.copy()
+        assert copy.encode() is data
+        copy["b"] = 2
+        assert msg.encode() is data
+        assert copy.encode() != data
+
+
+class TestAbcastCounters:
+    def test_stats_expose_abcast_phase_counters(self):
+        system = IsisCluster(n_sites=2, seed=5,
+                             isis_config=IsisConfig(abcast_mode="sequencer"))
+        stats = system.kernel(0).stats()
+        for key in ("abcast.proposals", "abcast.finals",
+                    "abcast.seq_stamps", "abcast.token_handoffs"):
+            assert key in stats, key
+
+    def test_unknown_abcast_mode_rejected(self):
+        from repro.core.engine import GroupEngine
+        from repro.errors import GroupError
+        system = IsisCluster(n_sites=2, seed=5,
+                             isis_config=IsisConfig(abcast_mode="bogus"))
+        with pytest.raises(GroupError):
+            GroupEngine(system.kernel(0), make_group_address(0, 1))
