@@ -22,6 +22,11 @@ def main() -> None:
     # routes ABCAST ordering through the view's token site (one-phase,
     # batched order stamps) instead of the paper's two-phase priorities
     # — ~2x ABCAST throughput at 4 sites; see BENCH_abcast.json.
+    # Causal delivery is dependency-indexed by default
+    # (IsisConfig.indexed_delivery): each delivery wakes exactly the
+    # messages it unblocks, so deep pending buffers drain in O(1) per
+    # message.  indexed_delivery=False selects the legacy rescan engine
+    # (same trajectories, byte for byte) — see BENCH_delivery.json.
     system = IsisCluster(n_sites=3, seed=7)
 
     # --- one member process per site -----------------------------------

@@ -35,6 +35,7 @@ order any still-unstamped messages after it with the deterministic
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -59,16 +60,30 @@ class _QueueEntry:
 
 
 class TotalOrderReceiver:
-    """Receiver-side ABCAST state for one group at one kernel."""
+    """Receiver-side ABCAST state for one group at one kernel.
 
-    __slots__ = ("site_id", "_counter", "_queue", "_delivered_refs")
+    With ``indexed=True`` (the default, mirroring
+    ``IsisConfig.indexed_delivery``) the drain tracks the queue minimum
+    in a lazy-deletion priority heap: every (re)prioritisation pushes an
+    entry, and stale heap heads — entries whose ref was delivered or
+    whose priority has since changed — are discarded on pop.  Priorities
+    are globally unique, so the heap order matches the legacy
+    scan-for-minimum exactly while costing O(log pending) per delivery
+    instead of O(pending).
+    """
 
-    def __init__(self, site_id: int):
+    __slots__ = ("site_id", "_counter", "_queue", "_delivered_refs",
+                 "_indexed", "_heap")
+
+    def __init__(self, site_id: int, indexed: bool = True):
         self.site_id = site_id
         self._counter = 0
         self._queue: Dict[MsgRef, _QueueEntry] = {}
         #: ref -> final priority it was delivered with.
         self._delivered_refs: Dict[MsgRef, Priority] = {}
+        self._indexed = indexed
+        #: Lazy min-heap of (priority, ref); stale entries skipped on pop.
+        self._heap: List[Tuple[Priority, MsgRef]] = []
 
     # -- phase 1: propose ---------------------------------------------------
     def propose(self, ref: MsgRef, msg: Message) -> Priority:
@@ -79,6 +94,8 @@ class TotalOrderReceiver:
         self._counter += 1
         priority = (self._counter, self.site_id)
         self._queue[ref] = _QueueEntry(ref=ref, msg=msg, priority=priority)
+        if self._indexed:
+            heapq.heappush(self._heap, (priority, ref))
         return priority
 
     # -- phase 3: finalize ---------------------------------------------------
@@ -92,9 +109,13 @@ class TotalOrderReceiver:
         entry.priority = final
         entry.final = True
         self._counter = max(self._counter, final[0])
+        if self._indexed:
+            heapq.heappush(self._heap, (final, ref))
         return self._drain()
 
     def _drain(self) -> List[Message]:
+        if self._indexed:
+            return self._drain_indexed()
         out: List[Message] = []
         while self._queue:
             head = min(self._queue.values(), key=lambda e: e.priority)
@@ -103,6 +124,23 @@ class TotalOrderReceiver:
             del self._queue[head.ref]
             self._delivered_refs[head.ref] = head.priority
             out.append(head.msg)
+        return out
+
+    def _drain_indexed(self) -> List[Message]:
+        out: List[Message] = []
+        heap = self._heap
+        while self._queue and heap:
+            priority, ref = heap[0]
+            entry = self._queue.get(ref)
+            if entry is None or entry.priority != priority:
+                heapq.heappop(heap)  # delivered or re-prioritised since
+                continue
+            if not entry.final:
+                break
+            heapq.heappop(heap)
+            del self._queue[ref]
+            self._delivered_refs[ref] = entry.priority
+            out.append(entry.msg)
         return out
 
     # -- flush support ----------------------------------------------------------
@@ -143,6 +181,8 @@ class TotalOrderReceiver:
             if entry is not None:
                 entry.priority = (prio_raw[0], prio_raw[1])
                 entry.final = True
+                if self._indexed:
+                    heapq.heappush(self._heap, (entry.priority, ref))
         return self._drain()
 
     def has_delivered(self, ref: MsgRef) -> bool:
@@ -152,6 +192,7 @@ class TotalOrderReceiver:
         """Reset for a new view (old-view messages all settled by flush)."""
         self._queue.clear()
         self._delivered_refs.clear()
+        self._heap.clear()
         # The counter survives: priorities stay monotone across views,
         # which keeps late duplicate finals harmless.
 

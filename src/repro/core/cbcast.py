@@ -4,11 +4,34 @@ See :mod:`repro.core.vectorclock` for the delivery rule.  This module
 holds the per-group receiver state: the delivered vector and the queue of
 messages waiting for causal predecessors.  The surrounding engine feeds
 it received CBCASTs and drains whatever became deliverable.
+
+Two drain engines share this class:
+
+* **Indexed** (``IsisConfig.indexed_delivery``, the default): pending
+  messages are keyed by ``(sender, seq)``.  Delivering seq *k* of a
+  sender wakes exactly ``(sender, k+1)``; a message whose cross-group
+  causal context is unsatisfied registers one precise wait threshold in
+  the kernel's :class:`~repro.core.kernel.WaitIndex` and is woken only
+  when that threshold is crossed.  Each arrival or wake costs O(1)
+  amortized, independent of pending depth.
+* **Legacy scan** (``indexed_delivery=False``): every drain re-scans the
+  whole pending buffer until a pass makes no progress — O(pending²) per
+  arrival.  Kept for differential testing; both engines produce
+  byte-identical delivery trajectories.
+
+The indexed drain evaluates *candidates* — pending messages whose
+blocking condition may have cleared — in arrival order, which is exactly
+the order the legacy scan discovers deliverable messages in.  The
+completeness invariant is that every deliverable pending message is a
+candidate: new arrivals are candidates, a FIFO-blocked message is woken
+by its predecessor's delivery, and a context-blocked message always
+holds a WaitIndex registration on the first threshold its context fails.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+import heapq
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..msg.address import Address
 from ..msg.message import Message
@@ -18,6 +41,9 @@ from .vectorclock import (
     decode_context,
     decode_context_compact,
 )
+
+#: A pending CBCAST is identified by (sender process, per-view seq).
+PendingKey = Tuple[Address, int]
 
 
 class CausalReceiver:
@@ -29,32 +55,119 @@ class CausalReceiver:
     the predecessor's absolute context is always known when a message
     becomes a delivery candidate; reconstructed contexts are cached per
     (sender, seq) so re-evaluating a blocked message never re-decodes.
+
+    ``ctx_check(context, key)`` (indexed mode) must behave like
+    ``is_deliverable_ctx`` but, on failure, register ``key`` against the
+    first unsatisfied threshold so a later advance re-marks the message
+    as a candidate (see ``ProtocolsProcess.check_context_and_register``).
+    ``on_advance(sender, seq)`` tells the kernel this group's delivered
+    vector advanced, waking cross-group waiters.
     """
 
     __slots__ = ("delivered", "_pending", "_is_deliverable_ctx",
-                 "_ctx_chain", "_ctx_cache")
+                 "_ctx_chain", "_ctx_cache", "_indexed", "_ctx_check",
+                 "_on_advance", "_arrival", "_next_arrival", "_ready",
+                 "_ready_set", "peak_pending")
 
-    def __init__(self, is_deliverable_ctx: Callable[[Context], bool]):
+    def __init__(self, is_deliverable_ctx: Callable[[Context], bool],
+                 indexed: bool = False,
+                 ctx_check: Optional[Callable[[Context, PendingKey], bool]] = None,
+                 on_advance: Optional[Callable[[Address, int], None]] = None):
         #: Delivered CBCAST count per sending member (resets per view).
         self.delivered = VectorClock()
-        self._pending: List[Message] = []
         #: Callback asking the kernel whether a cross-group causal context
         #: is satisfied (the kernel checks the *other* groups we belong to).
         self._is_deliverable_ctx = is_deliverable_ctx
+        self._indexed = indexed
+        self._ctx_check = ctx_check
+        self._on_advance = on_advance
+        if indexed:
+            assert ctx_check is not None
+            #: (sender, seq) -> pending message.
+            self._pending: Dict[PendingKey, Message] = {}
+            #: (sender, seq) -> arrival index (drain evaluates in this order).
+            self._arrival: Dict[PendingKey, int] = {}
+            self._next_arrival = 0
+            #: Min-heap of (arrival, key): candidates awaiting evaluation.
+            self._ready: List[Tuple[int, PendingKey]] = []
+            self._ready_set: Set[PendingKey] = set()
+        else:
+            self._pending: List[Message] = []  # type: ignore[no-redef]
         #: Per-sender absolute context after their last delivered message.
         self._ctx_chain: Dict[Address, Context] = {}
         #: (sender, seq) -> reconstructed context awaiting delivery.
-        self._ctx_cache: Dict[Tuple[Address, int], Context] = {}
+        self._ctx_cache: Dict[PendingKey, Context] = {}
+        #: High-water mark of the pending buffer (kernel stats).
+        self.peak_pending = 0
 
     def offer(self, msg: Message) -> List[Message]:
         """Feed one received CBCAST; return messages now deliverable, in order."""
-        self._pending.append(msg)
-        return self._drain()
+        if not self._indexed:
+            self._pending.append(msg)
+            if len(self._pending) > self.peak_pending:
+                self.peak_pending = len(self._pending)
+            return self._drain()
+        key = (msg["cb_sender"].process(), msg["cb_seq"])
+        if key in self._pending:
+            return []
+        self._pending[key] = msg
+        self._arrival[key] = self._next_arrival
+        self._next_arrival += 1
+        if len(self._pending) > self.peak_pending:
+            self.peak_pending = len(self._pending)
+        self.mark_candidate(key)
+        return self._drain_indexed()
 
     def recheck(self) -> List[Message]:
         """Re-evaluate pending messages (e.g. after another group advanced)."""
+        if self._indexed:
+            return self._drain_indexed()
         return self._drain()
 
+    def mark_candidate(self, key: PendingKey) -> bool:
+        """A blocking condition for ``key`` may have cleared.
+
+        Returns True if the message is pending here and was not already
+        marked (the kernel uses this to decide whether a recheck pass is
+        owed to this group).
+        """
+        if key not in self._pending or key in self._ready_set:
+            return False
+        self._ready_set.add(key)
+        heapq.heappush(self._ready, (self._arrival[key], key))
+        return True
+
+    # -- indexed drain -------------------------------------------------------
+    def _drain_indexed(self) -> List[Message]:
+        out: List[Message] = []
+        while self._ready:
+            _, key = heapq.heappop(self._ready)
+            self._ready_set.discard(key)
+            msg = self._pending.get(key)
+            if msg is None:
+                continue  # stale wake: delivered or dropped meanwhile
+            sender, seq = key
+            if seq != self.delivered.get(sender) + 1:
+                # FIFO-blocked: the predecessor's delivery re-marks it.
+                continue
+            context = self._context_of(msg, sender, seq)
+            if not self._ctx_check(context, key):
+                # Blocked on a cross-group threshold; ctx_check registered
+                # the precise wait, whose crossing re-marks the candidate.
+                continue
+            del self._pending[key]
+            del self._arrival[key]
+            self.delivered.set(sender, seq)
+            self._advance_chain(msg)
+            out.append(msg)
+            successor = (sender, seq + 1)
+            if successor in self._pending:
+                self.mark_candidate(successor)
+            if self._on_advance is not None:
+                self._on_advance(sender, seq)
+        return out
+
+    # -- legacy scan drain ---------------------------------------------------
     def _drain(self) -> List[Message]:
         out: List[Message] = []
         progress = True
@@ -105,15 +218,30 @@ class CausalReceiver:
         The flush delivered every old-view message before the view was
         installed, so both the delivered vector and the pending queue
         restart from empty (per-view sequence numbers also restart).
+        Context caches for every sender — including members that left —
+        are evicted here: delta chains restart with the view's sequence
+        numbers, so no entry can carry over.
         """
         self.delivered = VectorClock()
         self._pending.clear()
         self._ctx_chain.clear()
         self._ctx_cache.clear()
+        if self._indexed:
+            self._arrival.clear()
+            self._ready.clear()
+            self._ready_set.clear()
 
     @property
     def pending_count(self) -> int:
         return len(self._pending)
 
     def pending_messages(self) -> List[Message]:
-        return list(self._pending)
+        """Undelivered messages in arrival order (flush leftovers)."""
+        if not self._indexed:
+            return list(self._pending)
+        return [self._pending[key] for key in
+                sorted(self._pending, key=self._arrival.__getitem__)]
+
+    def cache_sizes(self) -> Tuple[int, int]:
+        """(ctx chain entries, ctx cache entries) — bounded-growth stats."""
+        return len(self._ctx_chain), len(self._ctx_cache)

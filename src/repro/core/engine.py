@@ -11,8 +11,11 @@ multicast data path through the layered
   site over the reliable transport, coalesced into ``g.batch`` wire
   messages when ``IsisConfig.batch_window > 0``; local members receive
   deliveries through the kernel's intra-site hop;
-* **ordering** — causal (vector clocks) and total (two-phase priority)
-  delivery queues;
+* **ordering** — causal (vector clocks) and total (two-phase priority
+  or sequencer-stamp) delivery queues; with
+  ``IsisConfig.indexed_delivery`` both are dependency-indexed — a
+  delivery wakes exactly the messages it unblocks (FIFO successors and
+  kernel WaitIndex threshold waiters) instead of re-scanning buffers;
 * **stability** — every message is buffered until known everywhere, so a
   flush can refill any member that missed something; have-vectors
   piggyback on data and ack envelopes so buffers trim continuously;
@@ -541,6 +544,11 @@ class GroupEngine:
             self.pipeline.drain_pre_view()
         else:
             self.kernel.retire_engine(self)
+        # 6. The view install can satisfy cross-group causal waits
+        # elsewhere (per-view vectors reset, so old-view thresholds are
+        # void): drain them now rather than at the next unrelated
+        # arrival.  Runs identically under both delivery engines.
+        self.kernel.recheck_causal(exclude=self.gid)
 
     def _reset_for_new_view(self) -> None:
         self.store.reset()

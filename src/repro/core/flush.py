@@ -103,21 +103,34 @@ class FlushCoordinator:
 
     # -- phase 2: refill -------------------------------------------------------
     def compute_pulls(self) -> Dict[int, List[Tuple[int, int, int]]]:
-        """holder_site -> [(origin, gseq, needy_site), ...]."""
+        """holder_site -> [(origin, gseq, needy_site), ...].
+
+        Holder lookup goes through a per-origin index of (site, have)
+        built once from the reports, instead of re-walking every report
+        dict for every missing gseq; the chosen holder — the first
+        reporting site whose have-vector covers the gseq — is identical.
+        """
+        holders: Dict[int, List[Tuple[int, int]]] = {
+            origin: [(site, report.have.get(origin, 0))
+                     for site, report in self._reports.items()]
+            for origin in self.union
+        }
         pulls: Dict[int, List[Tuple[int, int, int]]] = {}
         for needy, report in self._reports.items():
             for origin_site, top in self.union.items():
                 already = report.have.get(origin_site, 0)
                 for gseq in range(already + 1, top + 1):
-                    holder = self._find_holder(origin_site, gseq)
+                    holder = self._find_holder(holders[origin_site], gseq)
                     if holder is not None and holder != needy:
                         pulls.setdefault(holder, []).append(
                             (origin_site, gseq, needy))
         return pulls
 
-    def _find_holder(self, origin_site: int, gseq: int) -> Optional[int]:
-        for site, report in self._reports.items():
-            if report.have.get(origin_site, 0) >= gseq:
+    @staticmethod
+    def _find_holder(holders: List[Tuple[int, int]],
+                     gseq: int) -> Optional[int]:
+        for site, have in holders:
+            if have >= gseq:
                 return site
         return None
 
@@ -147,10 +160,18 @@ class FlushCoordinator:
         """Final (ref, priority) list, sorted by priority.
 
         For each undelivered ABCAST anywhere: if any site knows the true
-        final priority (delivered it, or holds it finalized), use that;
-        otherwise the final is the maximum over all reported proposals —
-        which equals the sender's choice, since the sender also maximized
-        over the member sites' proposals.
+        final priority (delivered it, or holds it finalized), use that.
+        A ref finalized nowhere but *held* by every reporting site keeps
+        the maximum over the reported proposals: each holder's pending
+        proposal capped what it could deliver, so the maximum sorts
+        after everything any survivor delivered.  That argument breaks
+        for a ref some survivor never received — that site proposed
+        nothing, so it may have delivered messages above every reported
+        proposal, and ordering the ref by the reported maximum could
+        slot it *before* messages already delivered without it.  Such
+        refs are lifted above every final in the cut (reported
+        proposals order the lifted tail deterministically), mirroring
+        the sequencer mode's unstamped-tail rule.
         """
         finals: Dict[Tuple[int, int], Tuple[int, int]] = {}
         proposals: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
@@ -177,11 +198,31 @@ class FlushCoordinator:
                     ref in dict(r.ab_delivered) for r in self._reports.values()
                 ):
                     delivered_everywhere.add(ref)
+        # The lift clears every *reported* priority — proposals included,
+        # not just finals — so a lifted priority can never collide with
+        # (or sort below) a non-lifted cut entry: priorities must stay
+        # globally unique for the drains to agree on tie-free order.
+        lift = max(
+            (prio[0] for prio in finals.values()),
+            default=0,
+        )
+        for plist in proposals.values():
+            for prio in plist:
+                if prio[0] > lift:
+                    lift = prio[0]
+        reporters = len(self._reports)
         order: List[Tuple[Tuple[int, int], Tuple[int, int]]] = []
         for ref in pending_refs | (set(finals) - delivered_everywhere):
             prio = finals.get(ref)
             if prio is None:
-                prio = max(proposals[ref])
+                # Final nowhere: each report holding the ref contributed
+                # exactly one proposal, so the proposal count tells us
+                # whether every reporter held it.
+                best = max(proposals[ref])
+                if len(proposals[ref]) < reporters:
+                    prio = (lift + best[0], best[1])
+                else:
+                    prio = best
             order.append((ref, prio))
         order.sort(key=lambda item: item[1])
         return [[list(ref), list(prio)] for ref, prio in order]

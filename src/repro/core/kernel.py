@@ -98,6 +98,144 @@ class IsisConfig:
     #: the generic nested-dict field.  ``False`` reproduces the original
     #: wire encoding byte for byte.
     compact_contexts: bool = True
+    #: Dependency-indexed causal delivery (the default): pending CBCASTs
+    #: are keyed by (sender, seq) so a delivery wakes exactly its FIFO
+    #: successor, and cross-group causal waits register precise
+    #: thresholds in the kernel :class:`WaitIndex` — O(1) per arrival
+    #: regardless of pending depth.  ``False`` selects the legacy
+    #: re-scan engine (O(pending²) per arrival, every group re-scanned
+    #: on every delivery); both produce byte-identical delivery
+    #: trajectories, which differential tests exploit.
+    indexed_delivery: bool = True
+
+
+#: A blocked CBCAST is identified kernel-wide by the group it is pending
+#: in plus its (sender, seq) key within that group's causal receiver.
+WaiterKey = Tuple[Address, Tuple[Address, int]]
+
+
+class WaitIndex:
+    """Cross-group causal wait thresholds, kernel-wide.
+
+    A CBCAST whose causal context is unsatisfied registers here against
+    the *first* threshold its context fails: either a delivery counter
+    ``(gid, member, needed_seq)`` — woken the moment that group's
+    delivered vector reaches ``needed_seq`` for ``member`` — or a view
+    threshold on ``gid`` — woken when that group installs any newer view
+    (vectors reset per view, so any view event can only satisfy waits).
+    Each waiter holds at most one slot; on wake it re-evaluates its full
+    context and either delivers or re-registers on the next failing
+    threshold.  This replaces the legacy broadcast re-scan of every
+    group's pending buffer on every delivery.
+    """
+
+    __slots__ = ("_counter_waits", "_view_waits", "_slots", "_by_engine",
+                 "peak_size")
+
+    def __init__(self) -> None:
+        #: gid -> (member, needed_seq) -> ordered waiters (dict-as-set).
+        self._counter_waits: Dict[
+            Address, Dict[Tuple[Address, int], Dict[WaiterKey, None]]] = {}
+        #: gid -> ordered waiters blocked on a future view of gid.
+        self._view_waits: Dict[Address, Dict[WaiterKey, None]] = {}
+        #: waiter -> (gid, bucket key or None-for-view) reverse map.
+        self._slots: Dict[WaiterKey, Tuple[Address,
+                                           Optional[Tuple[Address, int]]]] = {}
+        #: waiters registered by each engine (purged at its view changes).
+        self._by_engine: Dict[Address, Set[WaiterKey]] = {}
+        self.peak_size = 0
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def register_counter(self, gid: Address, member: Address, needed: int,
+                         waiter: WaiterKey) -> None:
+        """Wake ``waiter`` when gid's delivered[member] reaches ``needed``."""
+        self.remove(waiter)
+        bucket_key = (member.process(), needed)
+        self._counter_waits.setdefault(gid, {}).setdefault(
+            bucket_key, {})[waiter] = None
+        self._slots[waiter] = (gid, bucket_key)
+        self._by_engine.setdefault(waiter[0], set()).add(waiter)
+        if len(self._slots) > self.peak_size:
+            self.peak_size = len(self._slots)
+
+    def register_view(self, gid: Address, waiter: WaiterKey) -> None:
+        """Wake ``waiter`` when ``gid`` installs a newer view."""
+        self.remove(waiter)
+        self._view_waits.setdefault(gid, {})[waiter] = None
+        self._slots[waiter] = (gid, None)
+        self._by_engine.setdefault(waiter[0], set()).add(waiter)
+        if len(self._slots) > self.peak_size:
+            self.peak_size = len(self._slots)
+
+    def remove(self, waiter: WaiterKey) -> None:
+        """Drop a waiter's slot (delivered, re-registering, or discarded)."""
+        slot = self._slots.get(waiter)
+        if slot is None:
+            return
+        gid, bucket_key = slot
+        if bucket_key is None:
+            bucket = self._view_waits.get(gid)
+            if bucket is not None:
+                bucket.pop(waiter, None)
+                if not bucket:
+                    del self._view_waits[gid]
+        else:
+            buckets = self._counter_waits.get(gid)
+            if buckets is not None:
+                bucket = buckets.get(bucket_key)
+                if bucket is not None:
+                    bucket.pop(waiter, None)
+                    if not bucket:
+                        del buckets[bucket_key]
+                if not buckets:
+                    del self._counter_waits[gid]
+        self._discard_slot(waiter)
+
+    def on_advance(self, gid: Address, member: Address,
+                   seq: int) -> List[WaiterKey]:
+        """Group ``gid`` delivered ``member``'s message ``seq``."""
+        buckets = self._counter_waits.get(gid)
+        if buckets is None:
+            return []
+        bucket = buckets.pop((member.process(), seq), None)
+        if bucket is None:
+            return []
+        if not buckets:
+            del self._counter_waits[gid]
+        woken = list(bucket)
+        for waiter in woken:
+            self._discard_slot(waiter)
+        return woken
+
+    def on_view_event(self, gid: Address) -> List[WaiterKey]:
+        """Group ``gid`` installed a new view (or was retired)."""
+        woken: List[WaiterKey] = []
+        buckets = self._counter_waits.pop(gid, None)
+        if buckets is not None:
+            for bucket in buckets.values():
+                woken.extend(bucket)
+        view_bucket = self._view_waits.pop(gid, None)
+        if view_bucket is not None:
+            woken.extend(view_bucket)
+        for waiter in woken:
+            self._discard_slot(waiter)
+        return woken
+
+    def purge_engine(self, engine_gid: Address) -> None:
+        """An engine's pending buffer reset: drop its registrations."""
+        for waiter in list(self._by_engine.get(engine_gid, ())):
+            self.remove(waiter)
+
+    def _discard_slot(self, waiter: WaiterKey) -> None:
+        """Bookkeeping removal after a bucket was already popped."""
+        self._slots.pop(waiter, None)
+        engine_waiters = self._by_engine.get(waiter[0])
+        if engine_waiters is not None:
+            engine_waiters.discard(waiter)
+            if not engine_waiters:
+                del self._by_engine[waiter[0]]
 
 
 class _JoinState:
@@ -154,6 +292,17 @@ class ProtocolsProcess:
         self.sessions = SessionTable(self.sim, resolve_delay=intra)
         # Groups.
         self.engines: Dict[Address, GroupEngine] = {}
+        #: Cross-group causal wait thresholds (indexed delivery).
+        self.wait_index = WaitIndex()
+        #: Groups owed a candidate drain (a wake marked candidates there).
+        self._causal_wakes: Set[Address] = set()
+        #: gid -> creation rank; recheck passes visit woken groups in
+        #: this order, matching the legacy scan's engines-dict order.
+        self._engine_order: Dict[Address, int] = {}
+        self._next_engine_rank = 0
+        #: Pending-depth high-water mark of engines retired since boot
+        #: (stats must not drop when a group leaves this kernel).
+        self._retired_peak_pending = 0
         self.contact_cache: Dict[Address, int] = {}
         self._next_group_no = 1
         self._joins: Dict[Address, _JoinState] = {}
@@ -347,7 +496,14 @@ class ProtocolsProcess:
         if engine is None and create:
             engine = GroupEngine(self, key)
             self.engines[key] = engine
+            self._note_engine(key)
         return engine
+
+    def _note_engine(self, key: Address) -> None:
+        """Record a group's creation rank (recheck pass ordering)."""
+        if key not in self._engine_order:
+            self._engine_order[key] = self._next_engine_rank
+            self._next_engine_rank += 1
 
     # ------------------------------------------------------------------
     # Services used by GroupEngine
@@ -363,20 +519,101 @@ class ProtocolsProcess:
 
     def check_context(self, context: Dict[Address, Tuple[int, Any]]) -> bool:
         """Is this causal context satisfied at our kernel?"""
+        return self._check_context(context, waiter=None)
+
+    def check_context_and_register(self, context: Dict[Address, Tuple[int, Any]],
+                                   waiter: WaiterKey) -> bool:
+        """Indexed variant of :meth:`check_context`.
+
+        On failure the waiter is registered in the :class:`WaitIndex`
+        against the first unsatisfied threshold, so the matching advance
+        (or view event) re-marks it as a delivery candidate; any stale
+        slot from a previous evaluation is dropped first.
+        """
+        self.wait_index.remove(waiter)
+        return self._check_context(context, waiter)
+
+    def _check_context(self, context: Dict[Address, Tuple[int, Any]],
+                       waiter: Optional[WaiterKey]) -> bool:
+        """One satisfaction rule for both delivery engines.
+
+        The legacy and indexed engines must agree on this predicate for
+        their trajectories to stay byte-identical; registration is the
+        only difference, so it hangs off the shared walk.
+        """
         for gid, (view_id, vc) in context.items():
-            engine = self.engines.get(gid.process())
+            key = gid.process()
+            engine = self.engines.get(key)
             if engine is None or not engine.installed or engine.view is None:
                 continue  # not a member: cannot (and need not) wait
             if engine.view.view_id > view_id:
                 continue  # older view fully flushed: satisfied
             if engine.view.view_id < view_id:
+                if waiter is not None:
+                    self.wait_index.register_view(key, waiter)
                 return False  # we have not even reached that view yet
-            if not engine.causal.delivered.dominates(vc):
+            deficit = engine.causal.delivered.first_deficit(vc)
+            if deficit is not None:
+                if waiter is not None:
+                    self.wait_index.register_counter(
+                        key, deficit[0], deficit[1], waiter)
                 return False
         return True
 
+    def note_causal_advance(self, gid: Address, sender: Address,
+                            seq: int) -> None:
+        """Group ``gid`` delivered (sender, seq): wake threshold waiters."""
+        self._wake_waiters(self.wait_index.on_advance(gid, sender, seq))
+
+    def note_group_view_event(self, gid: Address) -> None:
+        """Group ``gid`` installed a view (or retired): its old-view
+        thresholds are all satisfied now — wake everything keyed on it."""
+        self._wake_waiters(self.wait_index.on_view_event(gid.process()))
+
+    def _wake_waiters(self, waiters: List[WaiterKey]) -> None:
+        for engine_gid, key in waiters:
+            engine = self.engines.get(engine_gid)
+            if engine is not None and engine.causal.mark_candidate(key):
+                self._causal_wakes.add(engine_gid)
+
     def recheck_causal(self, exclude: Optional[Address] = None) -> None:
-        """A group advanced: unblock cross-group causal waits elsewhere."""
+        """A group advanced: unblock cross-group causal waits elsewhere.
+
+        Indexed mode drains only groups whose WaitIndex thresholds were
+        actually crossed (candidate marks), visiting them in engine
+        order — O(1) when nothing woke.  Legacy mode re-scans every
+        group's whole pending buffer.
+        """
+        if self.config.indexed_delivery:
+            if not self._causal_wakes:
+                return
+            exclude_key = exclude.process() if exclude is not None else None
+            # One pass in engine-creation order over the *live* wake set
+            # (never the whole engines dict): a group woken mid-pass at a
+            # later rank is drained this pass, one at an earlier rank
+            # waits for the next trigger — exactly the legacy scan's
+            # single-pass semantics, at O(woken groups) per call.
+            last_rank = -1
+            while True:
+                best = None
+                best_rank = -1
+                for gid in self._causal_wakes:
+                    if gid == exclude_key:
+                        continue
+                    rank = self._engine_order.get(gid, -1)
+                    if rank > last_rank and (best is None
+                                             or rank < best_rank):
+                        best, best_rank = gid, rank
+                if best is None:
+                    break
+                last_rank = best_rank
+                self._causal_wakes.discard(best)
+                engine = self.engines.get(best)
+                if engine is None:
+                    continue
+                for ready in engine.causal.recheck():
+                    engine.deliver_env(ready)
+            return
         for gid, engine in list(self.engines.items()):
             if exclude is not None and gid == exclude.process():
                 continue
@@ -460,7 +697,16 @@ class ProtocolsProcess:
 
     def retire_engine(self, engine: GroupEngine) -> None:
         """No local members remain in the group's current view."""
-        self.engines.pop(engine.gid.process(), None)
+        key = engine.gid.process()
+        self.engines.pop(key, None)
+        self._causal_wakes.discard(key)
+        self._engine_order.pop(key, None)
+        self._retired_peak_pending = max(self._retired_peak_pending,
+                                         engine.causal.peak_pending)
+        # Its pending buffer is gone, and contexts naming it are now
+        # trivially satisfied ("not a member: cannot wait").
+        self.wait_index.purge_engine(key)
+        self.note_group_view_event(key)
 
     def _watch_member(self, engine: GroupEngine, member: Address) -> None:
         if member.local_id in self._watched_procs:
@@ -530,6 +776,7 @@ class ProtocolsProcess:
         self._next_group_no += 1
         engine = GroupEngine(self, gid, name)
         self.engines[gid] = engine
+        self._note_engine(gid)
         view = engine.create(process.address)
         self.contact_cache[gid] = self.site_id
         self._watch_member(engine, process.address)
@@ -1074,8 +1321,19 @@ class ProtocolsProcess:
             "abcast.finals": 0,
             "abcast.seq_stamps": 0,
             "abcast.token_handoffs": 0,
+            "causal.pending": 0,
+            "causal.peak_pending": self._retired_peak_pending,
+            "causal.ctx_cache": 0,
+            "wait_index.size": len(self.wait_index),
+            "wait_index.peak": self.wait_index.peak_size,
         }
         for engine in self.engines.values():
+            causal = engine.causal
+            out["causal.pending"] += causal.pending_count
+            out["causal.peak_pending"] = max(out["causal.peak_pending"],
+                                             causal.peak_pending)
+            chain, cache = causal.cache_sizes()
+            out["causal.ctx_cache"] += chain + cache
             out["buffered_messages"] += engine.store.buffered_count
             out["buffered_bytes"] += engine.store.buffered_bytes
             out["trimmed_messages"] += engine.store.trimmed_total

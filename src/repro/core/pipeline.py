@@ -233,7 +233,19 @@ class CausalOrdering:
     def __init__(self, engine: "GroupEngine", pipeline: "DeliveryPipeline"):
         self.engine = engine
         self.pipeline = pipeline
-        self.receiver = CausalReceiver(engine.kernel.check_context)
+        kernel = engine.kernel
+        if kernel.config.indexed_delivery:
+            gid = engine.gid.process()
+            self.receiver = CausalReceiver(
+                kernel.check_context,
+                indexed=True,
+                ctx_check=lambda ctx, key: kernel.check_context_and_register(
+                    ctx, (gid, key)),
+                on_advance=lambda sender, seq: kernel.note_causal_advance(
+                    gid, sender, seq),
+            )
+        else:
+            self.receiver = CausalReceiver(kernel.check_context)
         #: Per-sender CBCAST count within the current view (send side).
         self._counts: Dict[Address, int] = {}
         #: Per-sender context as of the last envelope sent (delta base).
@@ -264,6 +276,14 @@ class CausalOrdering:
         self.receiver.on_new_view()
         self._counts.clear()
         self._last_ctx.clear()
+        kernel = self.engine.kernel
+        if kernel.config.indexed_delivery:
+            # The pending buffer just reset: registrations made by this
+            # group are stale (their messages are gone), and thresholds
+            # other groups registered on us are satisfied by the view
+            # advance (delivered vectors reset per view).
+            kernel.wait_index.purge_engine(self.engine.gid.process())
+            kernel.note_group_view_event(self.engine.gid)
 
 
 class TotalOrdering:
@@ -272,7 +292,8 @@ class TotalOrdering:
     def __init__(self, engine: "GroupEngine", pipeline: "DeliveryPipeline"):
         self.engine = engine
         self.pipeline = pipeline
-        self.receiver = TotalOrderReceiver(engine.site_id)
+        self.receiver = TotalOrderReceiver(
+            engine.site_id, indexed=engine.kernel.config.indexed_delivery)
         self.sender = TotalOrderSender()
         #: Wire protocol messages this stage sent (``g.abp`` / ``g.abf``).
         self.proposals_sent = 0
@@ -329,6 +350,20 @@ class TotalOrdering:
                          (msg["prio"][0], msg["prio"][1]))
 
     def apply_final(self, ref: MsgRef, final: Priority) -> None:
+        """Record a final priority and deliver whatever it unblocks.
+
+        No finals are applied while the group is wedged: our FLUSH_OK
+        report already went out, so a post-report delivery would sit at
+        a position the coordinator's cut does not know about — survivors
+        that deliver the same ref via the cut could order it differently
+        (the cut recomputes the final from *reported* proposals, which
+        need not equal the true final).  The cut settles every wedged
+        ref deterministically, so dropping here never stalls a message.
+        This mirrors ``SequencerOrdering``'s no-stamps-while-wedged rule.
+        """
+        if self.engine.wedged:
+            self.engine.sim.trace.bump("abcast.wedged_finals_dropped")
+            return
         for ready in self.receiver.finalize(ref, final):
             ready_ref: MsgRef = (ready["origin"], ready["gseq"])
             # One finalize can unblock several queued messages; each is

@@ -58,6 +58,22 @@ class VectorClock:
             if value > self._clock.get(member, 0):
                 self._clock[member] = value
 
+    def first_deficit(
+        self, other: "VectorClock",
+    ) -> Optional[Tuple[Address, int]]:
+        """First ``(member, value)`` of ``other`` not yet covered by self.
+
+        Returns None when ``self`` dominates ``other``.  The scan order is
+        ``other``'s (deterministic) insertion order, so repeated calls as
+        ``self`` advances walk the deficits one threshold at a time —
+        this is what the kernel's WaitIndex registers delivery waits on.
+        """
+        clock = self._clock
+        for member, value in other._clock.items():
+            if clock.get(member, 0) < value:
+                return member, value
+        return None
+
     def dominates(self, other: "VectorClock",
                   restrict_to: Optional[Iterable[Address]] = None) -> bool:
         """self >= other pointwise (optionally over a member subset)."""

@@ -45,6 +45,14 @@ class LanConfig:
     rto: float = 0.400
     #: Sliding-window size (outstanding unacked frames per channel).
     window: int = 64
+    #: Delayed-ACK window (seconds).  In-order data frames batch one
+    #: cumulative ACK per source behind this delay, and a reverse-
+    #: direction data frame absorbs the pending ACK entirely (piggyback)
+    #: — cutting pure-ACK wire frames under bidirectional traffic.
+    #: Duplicates and gaps still ACK immediately (retransmit control).
+    #: ``0`` (the default) acknowledges every data frame, reproducing
+    #: the original wire behavior exactly.  Keep well below ``rto``.
+    ack_delay: float = 0.0
     #: Hardware-broadcast ablation (paper footnote 1 / [Babaoglu]).
     hw_multicast: bool = False
 

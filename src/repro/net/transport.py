@@ -91,6 +91,9 @@ class Transport:
         self._reassembler = Reassembler()
         self._next_msg_id = 0
         self._alive = True
+        #: Delayed cumulative ACKs: dst site -> highest ack owed.
+        self._ack_pending: Dict[int, int] = {}
+        self._ack_timers: Dict[int, Timer] = {}
         #: Per-endpoint wire counters (the global trace counters cannot
         #: attribute frames to a site; benchmarks and kernel stats can).
         self.msgs_sent = 0
@@ -99,6 +102,9 @@ class Transport:
         self.frames_received = 0
         self.msgs_received = 0
         self.retransmits = 0
+        self.acks_pure = 0          # stand-alone ACK frames sent
+        self.acks_coalesced = 0     # data frames whose ACK merged into one
+        self.acks_piggybacked = 0   # ACKs that rode a reverse data frame
         #: Optional handler for unreliable datagrams (heartbeats).
         self.on_raw: Optional[Callable[[int, bytes], None]] = None
         lan.attach(site_id, self._on_frame)
@@ -171,6 +177,13 @@ class Transport:
     def _put_on_wire(self, channel: _SendChannel, frame: Frame) -> None:
         if not self._alive:
             return
+        pending_ack = self._ack_pending.pop(frame.dst_site, None)
+        if pending_ack is not None:
+            # Reverse-direction data absorbs the delayed ACK entirely.
+            frame.ack = max(frame.ack, pending_ack)
+            self._cancel_ack_timer(frame.dst_site)
+            self.acks_piggybacked += 1
+            self.sim.trace.bump("transport.acks_piggybacked")
         self.lan.send(frame)
         self.frames_sent += 1
         channel.wire_times.setdefault(frame.seq, self.sim.now)
@@ -280,16 +293,28 @@ class Transport:
     def _process_data(self, frame: Frame) -> None:
         channel = self._recv_channels.get(frame.src_site)
         if channel is None or frame.epoch > channel.epoch:
-            # New incarnation of the source: reset channel state.
+            # New incarnation of the source: reset channel state,
+            # including any ACK still owed to the previous incarnation —
+            # replaying it against the new incarnation's send channel
+            # would silently "acknowledge" frames we never received.
             channel = _RecvChannel(frame.epoch)
             self._recv_channels[frame.src_site] = channel
             self._reassembler.forget((frame.src_site,))
+            self._ack_pending.pop(frame.src_site, None)
+            self._cancel_ack_timer(frame.src_site)
         elif frame.epoch < channel.epoch:
             self.sim.trace.bump("transport.stale_epoch")
             return
+        if frame.ack >= 0:
+            # A delayed ACK rode this reverse-direction data frame.
+            # Processed only after the epoch checks above: an ACK from a
+            # dead incarnation must not touch the live send channel.
+            self._process_ack(frame)
         if frame.seq < channel.expected:
+            # A duplicate means the sender timed out: answer right away
+            # (an ACK delayed here would only invite more retransmits).
             self.sim.trace.bump("transport.duplicates")
-            self._send_ack(frame.src_site, channel.expected - 1)
+            self._note_ack(frame.src_site, channel.expected - 1, urgent=True)
             return
         channel.out_of_order.setdefault(frame.seq, frame)
         delivered = False
@@ -307,7 +332,54 @@ class Transport:
                 self.msgs_received += 1
                 self.on_message(frame.src_site, whole)
         if delivered or frame.seq >= channel.expected:
-            self._send_ack(frame.src_site, channel.expected - 1)
+            # Gaps (nothing delivered) signal loss: ACK those urgently.
+            self._note_ack(frame.src_site, channel.expected - 1,
+                           urgent=not delivered)
+
+    def _note_ack(self, dst_site: int, cumulative: int,
+                  urgent: bool = False) -> None:
+        """Owe ``dst_site`` a cumulative ACK; send now or batch it.
+
+        With ``LanConfig.ack_delay == 0`` (default) every ACK goes out
+        immediately as its own frame — the original behavior.  With a
+        window, in-order ACKs coalesce: one timer per source, the owed
+        value monotonically maxed, flushed by the timer or absorbed by
+        the next reverse-direction data frame (see ``_put_on_wire``).
+        """
+        if not self._alive:
+            return  # a CPU-queued frame processed post-crash: stay silent
+        delay = self.lan.config.ack_delay
+        if delay <= 0:
+            self._send_ack(dst_site, cumulative)
+            return
+        pending = self._ack_pending.get(dst_site)
+        if urgent:
+            self._ack_pending.pop(dst_site, None)
+            self._cancel_ack_timer(dst_site)
+            if pending is not None:
+                cumulative = max(cumulative, pending)
+            self._send_ack(dst_site, cumulative)
+            return
+        if pending is not None:
+            self._ack_pending[dst_site] = max(pending, cumulative)
+            self.acks_coalesced += 1
+            self.sim.trace.bump("transport.acks_coalesced")
+        else:
+            self._ack_pending[dst_site] = cumulative
+        if dst_site not in self._ack_timers:
+            self._ack_timers[dst_site] = self.sim.call_after(
+                delay, self._flush_ack, dst_site)
+
+    def _flush_ack(self, dst_site: int) -> None:
+        self._ack_timers.pop(dst_site, None)
+        cumulative = self._ack_pending.pop(dst_site, None)
+        if cumulative is not None and self._alive:
+            self._send_ack(dst_site, cumulative)
+
+    def _cancel_ack_timer(self, dst_site: int) -> None:
+        timer = self._ack_timers.pop(dst_site, None)
+        if timer is not None:
+            timer.cancel()
 
     def _send_ack(self, dst_site: int, cumulative: int) -> None:
         ack = Frame(
@@ -317,6 +389,7 @@ class Transport:
             epoch=self.epoch,
             ack=cumulative,
         )
+        self.acks_pure += 1
         self.lan.send(ack)
 
     # ------------------------------------------------------------------
@@ -331,6 +404,9 @@ class Transport:
             "frames_received": self.frames_received,
             "msgs_received": self.msgs_received,
             "retransmits": self.retransmits,
+            "acks_pure": self.acks_pure,
+            "acks_coalesced": self.acks_coalesced,
+            "acks_piggybacked": self.acks_piggybacked,
         }
 
     # ------------------------------------------------------------------
@@ -352,6 +428,9 @@ class Transport:
             return
         self._alive = False
         self.lan.detach(self.site_id)
+        for dst_site in list(self._ack_timers):
+            self._cancel_ack_timer(dst_site)
+        self._ack_pending.clear()
         for dst_site in list(self._send_channels):
             self.reset_channel(dst_site)
 

@@ -24,21 +24,32 @@ class Timer:
     """Handle for a scheduled callback; supports cancellation.
 
     Cancellation is lazy: the heap entry stays in place and is discarded
-    when popped.  This keeps :meth:`cancel` O(1).
+    when popped.  This keeps :meth:`cancel` O(1).  The simulator counts
+    cancelled entries still sitting in its heap and compacts once they
+    are the majority — timer-heavy protocols (per-ACK retransmit
+    re-arming, batching windows) would otherwise grow the heap with dead
+    entries faster than the pop loop retires them.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple,
+                 sim: "Optional[Simulator]" = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        #: Owning simulator while the entry is in its heap (cleared on
+        #: pop, so post-execution cancels are not miscounted).
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from running (idempotent)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._note_cancelled()
         # Drop references so cancelled timers do not pin large closures.
         self.fn = None  # type: ignore[assignment]
         self.args = ()
@@ -61,6 +72,10 @@ class Simulator:
         own deterministic substream from this value.
     """
 
+    #: Compact only when the heap has at least this many entries (small
+    #: heaps are cheap to pop through; compacting them is churn).
+    COMPACT_MIN_HEAP = 64
+
     def __init__(self, seed: int = 0):
         self._now: float = 0.0
         self._heap: list[Timer] = []
@@ -68,6 +83,10 @@ class Simulator:
         self._running = False
         self._rngs = RngRegistry(seed)
         self.seed = seed
+        #: Cancelled entries still sitting in the heap.
+        self._cancelled = 0
+        #: Times the heap was rebuilt to shed dead entries.
+        self._compactions = 0
         #: Counters and event log shared by all layers.
         self.trace = Trace(self)
 
@@ -92,10 +111,20 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time:.6f}, now is t={self._now:.6f}"
             )
-        timer = Timer(time, self._seq, fn, args)
+        timer = Timer(time, self._seq, fn, args, sim=self)
         self._seq += 1
         heapq.heappush(self._heap, timer)
         return timer
+
+    def _note_cancelled(self) -> None:
+        """A heap-resident timer was cancelled; compact when >50% dead."""
+        self._cancelled += 1
+        if (len(self._heap) >= self.COMPACT_MIN_HEAP
+                and self._cancelled * 2 > len(self._heap)):
+            self._heap = [t for t in self._heap if not t.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled = 0
+            self._compactions += 1
 
     def call_after(self, delay: float, fn: Callable, *args: Any) -> Timer:
         """Schedule ``fn(*args)`` after ``delay`` seconds (>= 0)."""
@@ -114,7 +143,9 @@ class Simulator:
         """Run the single next event.  Returns False if the heap is empty."""
         while self._heap:
             timer = heapq.heappop(self._heap)
+            timer._sim = None  # out of the heap: cancels no longer counted
             if timer.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = timer.time
             fn, args = timer.fn, timer.args
@@ -147,6 +178,8 @@ class Simulator:
                 head = self._heap[0]
                 if head.cancelled:
                     heapq.heappop(self._heap)
+                    head._sim = None
+                    self._cancelled -= 1
                     continue
                 if until is not None and head.time > until:
                     break
@@ -164,8 +197,17 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of (possibly cancelled) heap entries; for tests/debugging."""
-        return sum(1 for t in self._heap if not t.cancelled)
+        """Number of live (non-cancelled) heap entries; for tests/debugging."""
+        return len(self._heap) - self._cancelled
+
+    def stats(self) -> dict:
+        """Event-loop health counters (heap occupancy, compactions)."""
+        return {
+            "timers.scheduled": self._seq,
+            "timers.heap_size": len(self._heap),
+            "timers.cancelled_pending": self._cancelled,
+            "timers.compactions": self._compactions,
+        }
 
     # ------------------------------------------------------------------
     # Randomness

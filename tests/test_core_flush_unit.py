@@ -128,3 +128,40 @@ class TestNextView:
             FlushReason(kind="join", joiner=joiner),
         ])
         assert fc.next_view().members.count(joiner.process()) == 1
+
+
+class TestCutOrderLift:
+    def test_unheld_ref_lifted_after_finals(self):
+        """A ref some reporter never held cannot be ordered by reported
+        proposals alone: the missing site may have delivered past them."""
+        fc = make(participants={0, 1})
+        # Site 0 holds (1,1) pending at a small proposal and has already
+        # delivered (0,1) at a larger final; site 1 never saw (1,1).
+        fc.offer_report(0, {}, [
+            {"ref": [1, 1], "prio": [2, 0], "final": False},
+        ], [[[0, 1], [11, 1]]])
+        fc.offer_report(1, {}, [
+            {"ref": [0, 1], "prio": [5, 1], "final": False},
+        ], [])
+        order = fc.abcast_cut_order()
+        refs = [tuple(r) for r, _ in order]
+        # The delivered final pins (0,1) first; the unheld (1,1) sorts
+        # after it even though its reported proposal (2,0) is smaller.
+        assert refs == [(0, 1), (1, 1)]
+
+    def test_lift_clears_reported_proposals_for_uniqueness(self):
+        """Lifted priorities must not collide with held-everywhere refs'
+        max-proposal priorities (cut order must stay tie-free)."""
+        fc = make(participants={0, 1})
+        fc.offer_report(0, {}, [
+            {"ref": [0, 1], "prio": [53, 0], "final": False},  # held by all
+            {"ref": [1, 1], "prio": [3, 0], "final": False},   # only here
+        ], [[[2, 1], [50, 1]]])
+        fc.offer_report(1, {}, [
+            {"ref": [0, 1], "prio": [53, 0], "final": False},
+        ], [[[2, 1], [50, 1]]])
+        order = fc.abcast_cut_order()
+        prios = [tuple(p) for _, p in order]
+        assert len(set(prios)) == len(prios), f"priority collision: {order}"
+        refs = [tuple(r) for r, _ in order]
+        assert refs.index((0, 1)) < refs.index((1, 1))

@@ -1,0 +1,211 @@
+"""Unit tests for the kernel WaitIndex and the indexed delivery stats.
+
+The WaitIndex is the kernel-wide registry of cross-group causal wait
+thresholds: a CBCAST blocked on another group's progress holds exactly
+one slot — a delivery counter ``(gid, member, needed_seq)`` or a view
+threshold on ``gid`` — and is woken only when that threshold crosses.
+"""
+
+import pytest
+
+from repro import IsisCluster
+from repro.core.kernel import IsisConfig, WaitIndex
+from repro.msg.address import make_group_address, make_process_address
+
+G1 = make_group_address(0, 1)
+G2 = make_group_address(0, 2)
+M1 = make_process_address(1, 0, 7)
+M2 = make_process_address(2, 0, 9)
+
+#: waiter = (gid of the engine holding the blocked message, (sender, seq))
+W1 = (G2, (M1, 1))
+W2 = (G2, (M1, 2))
+W3 = (G1, (M2, 5))
+
+
+class TestWaitIndex:
+    def test_counter_threshold_wakes_exactly_at_needed_seq(self):
+        wi = WaitIndex()
+        wi.register_counter(G1, M1, 3, W1)
+        assert wi.on_advance(G1, M1, 1) == []
+        assert wi.on_advance(G1, M1, 2) == []
+        assert wi.on_advance(G1, M1, 3) == [W1]
+        assert len(wi) == 0
+
+    def test_one_slot_per_waiter_reregistration_migrates(self):
+        wi = WaitIndex()
+        wi.register_counter(G1, M1, 3, W1)
+        # Re-evaluation found a different failing threshold: slot moves.
+        wi.register_counter(G1, M2, 5, W1)
+        assert len(wi) == 1
+        assert wi.on_advance(G1, M1, 3) == []
+        assert wi.on_advance(G1, M2, 5) == [W1]
+
+    def test_view_event_wakes_counter_and_view_waiters(self):
+        wi = WaitIndex()
+        wi.register_counter(G1, M1, 3, W1)
+        wi.register_view(G1, W2)
+        wi.register_counter(G2, M2, 1, W3)  # different group: untouched
+        woken = wi.on_view_event(G1)
+        assert set(woken) == {W1, W2}
+        assert len(wi) == 1
+        assert wi.on_view_event(G2) == [W3]
+
+    def test_purge_engine_drops_only_its_registrations(self):
+        wi = WaitIndex()
+        wi.register_counter(G1, M1, 3, W1)   # waiter of engine G2
+        wi.register_counter(G2, M2, 2, W3)   # waiter of engine G1
+        wi.purge_engine(G2)
+        assert len(wi) == 1
+        assert wi.on_advance(G2, M2, 2) == [W3]
+        assert wi.on_advance(G1, M1, 3) == []
+
+    def test_remove_is_idempotent_and_exact(self):
+        wi = WaitIndex()
+        wi.register_counter(G1, M1, 3, W1)
+        wi.register_counter(G1, M1, 3, W2)
+        wi.remove(W1)
+        wi.remove(W1)
+        assert len(wi) == 1
+        assert wi.on_advance(G1, M1, 3) == [W2]
+
+    def test_peak_size_high_water_mark(self):
+        wi = WaitIndex()
+        wi.register_counter(G1, M1, 1, W1)
+        wi.register_counter(G1, M1, 2, W2)
+        wi.register_view(G2, W3)
+        assert wi.peak_size == 3
+        wi.on_view_event(G1)
+        wi.on_view_event(G2)
+        assert len(wi) == 0 and wi.peak_size == 3
+
+
+def _two_group_cluster(indexed=True, n_sites=3, seed=21):
+    """Two fully overlapping groups; returns (system, members, deliveries)."""
+    system = IsisCluster(n_sites=n_sites, seed=seed,
+                         isis_config=IsisConfig(indexed_delivery=indexed))
+    deliveries = {s: [] for s in range(n_sites)}
+    members = []
+    for site in range(n_sites):
+        proc, isis = system.spawn(site, f"m{site}")
+        proc.bind(16, lambda msg, s=site: deliveries[s].append(msg["tag"]))
+        members.append((proc, isis))
+
+    def create():
+        yield members[0][1].pg_create("wia")
+        yield members[0][1].pg_create("wib")
+
+    members[0][0].spawn(create(), "create")
+    system.run_for(3.0)
+    for i in range(1, n_sites):
+        def join(isis=members[i][1]):
+            for name in ("wia", "wib"):
+                gid = yield isis.pg_lookup(name)
+                yield isis.pg_join(gid)
+
+        members[i][0].spawn(join(), f"join{i}")
+        system.run_for(25.0)
+    return system, members, deliveries
+
+
+class TestIndexedDeliveryKernel:
+    def test_cross_group_chains_deliver_and_index_drains(self):
+        system, members, deliveries = _two_group_cluster()
+
+        def chain(idx):
+            proc, isis = members[idx]
+
+            def gen():
+                ga = yield isis.pg_lookup("wia")
+                gb = yield isis.pg_lookup("wib")
+                for i in range(6):
+                    # Alternate groups: each send's context spans both,
+                    # creating exactly the cross-group waits the index
+                    # must track.
+                    yield isis.cbcast(ga if i % 2 else gb, 16,
+                                      tag=f"c{idx}:{i}")
+
+            proc.spawn(gen(), f"chain{idx}")
+
+        for idx in range(3):
+            chain(idx)
+        system.run_for(30.0)
+        for site in range(3):
+            assert len(deliveries[site]) == 18
+            for idx in range(3):
+                seq = [int(t.split(":")[1]) for t in deliveries[site]
+                       if t.startswith(f"c{idx}:")]
+                assert seq == sorted(seq)
+        for site in range(3):
+            stats = system.kernel(site).stats()
+            # All waits resolved; nothing leaked in the index.
+            assert stats["wait_index.size"] == 0
+            assert stats["causal.pending"] == 0
+
+    def test_view_change_wakes_threshold_waiters(self):
+        """A waiter blocked on a group's progress is released when that
+        group installs a new view (old-view thresholds are satisfied)."""
+        system, members, deliveries = _two_group_cluster()
+        for idx in range(3):
+            proc, isis = members[idx]
+
+            def gen(isis=isis, idx=idx):
+                ga = yield isis.pg_lookup("wia")
+                gb = yield isis.pg_lookup("wib")
+                for i in range(4):
+                    yield isis.cbcast(ga if i % 2 else gb, 16,
+                                      tag=f"v{idx}:{i}")
+
+            proc.spawn(gen(), f"v{idx}")
+        system.run_for(0.2)
+        system.crash_site(2)
+        system.run_for(120.0)
+        survivors = [0, 1]
+        sets = [set(deliveries[s]) for s in survivors]
+        assert sets[0] == sets[1]
+        for site in survivors:
+            stats = system.kernel(site).stats()
+            assert stats["wait_index.size"] == 0
+            assert stats["causal.pending"] == 0
+
+    def test_ctx_caches_evicted_at_view_change(self):
+        system, members, deliveries = _two_group_cluster()
+        proc, isis = members[0]
+
+        def gen():
+            ga = yield isis.pg_lookup("wia")
+            for i in range(10):
+                yield isis.cbcast(ga, 16, tag=f"e:{i}")
+
+        proc.spawn(gen(), "e")
+        system.run_for(10.0)
+        assert system.kernel(1).stats()["causal.ctx_cache"] > 0
+        system.crash_site(2)  # forces a view change in both groups
+        system.run_for(60.0)
+        for site in (0, 1):
+            kernel = system.kernel(site)
+            for engine in kernel.engines.values():
+                chain, cache = engine.causal.cache_sizes()
+                # Delta chains restarted with the view: entries for every
+                # old-view sender (including the departed member) are gone
+                # until new-view traffic rebuilds them.
+                assert cache == 0
+                assert chain <= len(engine.view.members)
+
+    def test_peak_pending_stat_tracks_depth(self):
+        system, members, deliveries = _two_group_cluster()
+        for idx in range(3):
+            proc, isis = members[idx]
+
+            def gen(isis=isis, idx=idx):
+                ga = yield isis.pg_lookup("wia")
+                gb = yield isis.pg_lookup("wib")
+                for i in range(8):
+                    yield isis.cbcast(ga if i % 2 else gb, 16,
+                                      tag=f"p{idx}:{i}")
+
+            proc.spawn(gen(), f"p{idx}")
+        system.run_for(30.0)
+        peaks = [system.kernel(s).stats()["causal.peak_pending"]
+                 for s in range(3)]
+        assert max(peaks) >= 1  # some message waited on a predecessor

@@ -152,3 +152,64 @@ def test_rng_stream_isolation_from_creation_order():
     sim_b = Simulator(seed=3)
     value_b = sim_b.rng("second").random()
     assert value_a == value_b
+
+
+class TestTimerHeapCompaction:
+    def test_cancel_tracks_dead_heap_entries(self):
+        sim = Simulator()
+        timers = [sim.call_after(10.0, lambda: None) for _ in range(10)]
+        for t in timers[:4]:
+            t.cancel()
+        stats = sim.stats()
+        assert stats["timers.cancelled_pending"] == 4
+        assert stats["timers.heap_size"] == 10
+        assert sim.pending_events == 6
+
+    def test_compaction_when_majority_dead(self):
+        sim = Simulator()
+        n = Simulator.COMPACT_MIN_HEAP * 2
+        timers = [sim.call_after(10.0, lambda: None) for _ in range(n)]
+        for t in timers[:-1]:
+            t.cancel()
+        stats = sim.stats()
+        assert stats["timers.compactions"] >= 1
+        # Post-compaction the heap is too small to compact again; what
+        # remains dead is bounded by the compaction floor.
+        assert stats["timers.heap_size"] < Simulator.COMPACT_MIN_HEAP
+        assert sim.pending_events == 1
+        # The surviving timer still fires.
+        fired = []
+        timers[-1].fn = fired.append  # type: ignore[assignment]
+        timers[-1].args = (1,)
+        sim.run()
+        assert fired == [1]
+
+    def test_small_heaps_never_compact(self):
+        sim = Simulator()
+        timers = [sim.call_after(10.0, lambda: None) for _ in range(8)]
+        for t in timers:
+            t.cancel()
+        assert sim.stats()["timers.compactions"] == 0
+        sim.run()
+        assert sim.stats()["timers.cancelled_pending"] == 0
+
+    def test_executed_timer_not_counted_as_cancelled(self):
+        sim = Simulator()
+        sim.call_after(1.0, lambda: None)
+        sim.run()
+        stats = sim.stats()
+        assert stats["timers.cancelled_pending"] == 0
+        assert stats["timers.heap_size"] == 0
+
+    def test_compaction_preserves_firing_order(self):
+        sim = Simulator()
+        fired = []
+        keep = []
+        for i in range(Simulator.COMPACT_MIN_HEAP * 2):
+            t = sim.call_after(1.0 + i * 0.001, fired.append, i)
+            if i % 7:
+                t.cancel()
+            else:
+                keep.append(i)
+        sim.run()
+        assert fired == keep
