@@ -1,0 +1,382 @@
+"""Ablation A5 — fast view-change engine vs the legacy 4-phase flush.
+
+``IsisConfig.fast_flush`` attacks the membership-churn bottleneck: the
+stop-the-world flush.  Three mechanisms: (1) *pre-reports* — on a site
+death every survivor wedges and pushes its FLUSH_OK to the predicted
+coordinator unsolicited, collapsing wedge→commit to one round trip;
+(2) *delta/pruned reports* — ``g.fl.begin`` carries the expected union
+for delta-encoded replies, and delivered ABCAST finals are continuously
+pruned via piggybacked delivery floors, so reports stop scaling with
+the view's multicast history; (3) *streaming join transfer* — large
+snapshots stream in bounded chunks over a persistent bulk connection,
+so a concurrent flush never stalls behind a snapshot-sized CPU block at
+the source.
+
+Scenarios (each timed in *simulated* seconds):
+
+* ``rolling_restart`` — ABCAST burst, quiesce, crash a member site;
+  repeated.  The headline: wedged time (the unavailability window,
+  summed over surviving member engines) per view change.
+* ``flapping`` — one member leaves and rejoins repeatedly (reason-
+  driven flushes: begin round kept, reports delta-encoded).
+* ``mass_join`` — a 2-member group with a large registered snapshot
+  admits every other site concurrently while a member flaps, at two
+  snapshot sizes: does group wedged-time scale with snapshot bytes?
+* ``partition_heal`` — a minority partition exceeds the detection
+  timeout; correlated suspicions batch into merged removals.
+
+Metrics per configuration: wedged seconds, flush wire messages, flush
+runs, view-change count, refill bytes, and (mass_join) join latency.
+Results go to ``BENCH_viewchange.json``.
+
+Run standalone or under pytest-benchmark::
+
+    PYTHONPATH=src python benchmarks/bench_ablation_viewchange.py
+
+``VIEWCHANGE_BENCH_SMOKE=1`` runs the CI smoke variant (8 sites,
+rolling restart only) and fails only if fast-flush wedged-time is not
+below legacy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+import pytest
+
+from repro import IsisCluster, IsisConfig
+from repro.sim.tasks import sleep
+from repro.tools import register_raw_state
+
+from harness import print_table, run_one
+
+SINK_ENTRY = 17
+SMOKE = os.environ.get("VIEWCHANGE_BENCH_SMOKE") == "1"
+
+_RESULTS_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                             "BENCH_viewchange.json")
+
+
+def _config(fast: bool) -> IsisConfig:
+    return IsisConfig(fast_flush=fast)
+
+
+def _build(sites: int, fast: bool, seed: int, state_bytes: int = 0):
+    system = IsisCluster(n_sites=sites, seed=seed,
+                         isis_config=_config(fast))
+    blob = b"s" * state_bytes
+    members = []
+    for site in range(sites):
+        proc, isis = system.spawn(site, f"m{site}")
+        proc.bind(SINK_ENTRY, lambda msg: None)
+        if state_bytes:
+            register_raw_state(isis, "blob", lambda: blob, lambda b: None)
+        members.append((proc, isis))
+
+    def create():
+        yield members[0][1].pg_create("vc")
+
+    members[0][0].spawn(create(), "create")
+    system.run_for(3.0)
+    return system, members
+
+
+def _join_all(system, members, count: int) -> None:
+    for i in range(1, count):
+        def join(isis=members[i][1]):
+            gid = yield isis.pg_lookup("vc")
+            yield isis.pg_join(gid)
+
+        members[i][0].spawn(join(), f"j{i}")
+    system.run_for(10.0 + 2.0 * count)
+
+
+def _wedged_total(system, sites: List[int]) -> float:
+    return sum(system.kernel(s).stats()["flush.wedged_seconds"]
+               for s in sites if getattr(system.site(s), "up", False))
+
+
+def _flush_counters(system) -> Dict[str, int]:
+    t = system.sim.trace
+    return {
+        "wire_msgs": t.value("flush.wire_msgs"),
+        "runs": t.value("flush.runs"),
+        "fast_path": t.value("flush.fast_path"),
+        "refill_bytes": t.value("flush.refill_bytes"),
+    }
+
+
+def _burst(system, members, senders: int, n: int) -> None:
+    for idx in range(senders):
+        proc, isis = members[idx]
+        if not proc.alive:
+            continue
+
+        def gen(isis=isis, idx=idx):
+            gid = yield isis.pg_lookup("vc")
+            for i in range(n):
+                yield isis.abcast(gid, SINK_ENTRY, tag=f"{idx}:{i}")
+
+        proc.spawn(gen(), f"burst{idx}")
+
+
+def _quiesce(system, sites: int) -> None:
+    """Drain traffic until every store trimmed empty (true quiescence —
+    the scenario measures view-change cost, not backlog drain)."""
+    system.run_for(4.0)
+    for _ in range(12):
+        buffered = sum(
+            system.kernel(s).stats()["buffered_messages"]
+            for s in range(sites) if getattr(system.site(s), "up", False))
+        if buffered == 0:
+            break
+        system.run_for(4.0)
+
+
+def rolling_restart(sites: int, fast: bool, steps: int) -> Dict:
+    """ABCAST burst → quiesce → crash one member site; repeat."""
+    system, members = _build(sites, fast, seed=501)
+    _join_all(system, members, sites)
+    setup = _flush_counters(system)
+    victims = list(range(sites - 1, sites - 1 - steps, -1))
+    wedged = 0.0
+    for step, victim in enumerate(victims):
+        _burst(system, members, senders=3, n=40)
+        _quiesce(system, sites)
+        alive = [s for s in range(sites) if s not in victims[:step + 1]]
+        before = _wedged_total(system, alive)
+        system.crash_site(victim)
+        system.run_for(8.0)
+        wedged += _wedged_total(system, alive) - before
+    counters = _flush_counters(system)
+    return {
+        "view_changes": steps,
+        "wedged_seconds": round(wedged, 4),
+        "wedged_per_change": round(wedged / steps, 4),
+        "flush_wire_msgs": counters["wire_msgs"] - setup["wire_msgs"],
+        "fast_path_commits": counters["fast_path"] - setup["fast_path"],
+        "refill_bytes": counters["refill_bytes"] - setup["refill_bytes"],
+    }
+
+
+def flapping(sites: int, fast: bool, cycles: int) -> Dict:
+    """One member leaves and rejoins repeatedly (no site failures)."""
+    system, members = _build(sites, fast, seed=502)
+    _join_all(system, members, sites)
+    flapper = members[-1]
+    alive = list(range(sites))
+    before = _wedged_total(system, alive)
+    setup = _flush_counters(system)
+    state = {"done": 0}
+
+    def flap():
+        gid = yield flapper[1].pg_lookup("vc")
+        for _ in range(cycles):
+            yield flapper[1].pg_leave(gid)
+            yield sleep(system.sim, 0.4)
+            yield flapper[1].pg_join(gid)
+            yield sleep(system.sim, 0.4)
+            state["done"] += 1
+
+    flapper[0].spawn(flap(), "flap")
+    system.run_for(6.0 + 3.0 * cycles)
+    wedged = _wedged_total(system, alive) - before
+    counters = _flush_counters(system)
+    changes = 2 * state["done"]
+    return {
+        "view_changes": changes,
+        "wedged_seconds": round(wedged, 4),
+        "wedged_per_change": round(wedged / max(changes, 1), 4),
+        "flush_wire_msgs": counters["wire_msgs"] - setup["wire_msgs"],
+        "refill_bytes": counters["refill_bytes"] - setup["refill_bytes"],
+    }
+
+
+def mass_join(sites: int, fast: bool, state_bytes: int) -> Dict:
+    """Everyone joins a 2-member group holding a large snapshot while a
+    member flaps: does wedged time scale with snapshot bytes?"""
+    system, members = _build(sites, fast, seed=503, state_bytes=state_bytes)
+
+    def join1():
+        gid = yield members[1][1].pg_lookup("vc")
+        yield members[1][1].pg_join(gid)
+
+    members[1][0].spawn(join1(), "j1")
+    system.run_for(10.0)
+    t0 = system.sim.now
+    before = _wedged_total(system, list(range(sites)))
+    done: List[float] = []
+    blob = b""
+    for site in range(2, sites):
+        jproc, jisis = system.spawn(site, f"join{site}")
+        register_raw_state(jisis, "blob", lambda: blob, lambda b: None)
+
+        def join(jisis=jisis):
+            gid = yield jisis.pg_lookup("vc")
+            yield jisis.pg_join(gid)
+            done.append(system.sim.now)
+
+        jproc.spawn(join(), f"join{site}")
+
+    def flap():
+        gid = yield members[1][1].pg_lookup("vc")
+        for _ in range(2):
+            yield sleep(system.sim, 0.8)
+            yield members[1][1].pg_leave(gid)
+            yield sleep(system.sim, 0.5)
+            yield members[1][1].pg_join(gid)
+
+    members[1][0].spawn(flap(), "flap")
+    system.run_for(60.0)
+    wedged = _wedged_total(system, list(range(sites))) - before
+    assert len(done) == sites - 2, f"only {len(done)} joins finished"
+    return {
+        "snapshot_bytes": state_bytes,
+        "wedged_seconds": round(wedged, 4),
+        "last_join_seconds": round(max(done) - t0, 3),
+        "stream_chunks": system.sim.trace.value("state_transfer.chunks"),
+        "streams_aborted": system.sim.trace.value(
+            "state_transfer.streams_aborted"),
+    }
+
+
+def partition_heal(sites: int, fast: bool) -> Dict:
+    """A minority partition exceeds the detection timeout: correlated
+    suspicions batch into merged removals, survivors flush once-ish."""
+    system, members = _build(sites, fast, seed=504)
+    _join_all(system, members, sites)
+    _burst(system, members, senders=2, n=30)
+    _quiesce(system, sites)
+    minority = list(range(sites - 3, sites))
+    majority = [s for s in range(sites) if s not in minority]
+    before = _wedged_total(system, majority)
+    runs_before = system.sim.trace.value("flush.runs")
+    system.cluster.lan.partition([majority, minority])
+    system.run_for(25.0)  # detection + eviction + flush
+    system.cluster.lan.heal()
+    system.run_for(10.0)
+    wedged = _wedged_total(system, majority) - before
+    counters = _flush_counters(system)
+    view = None
+    for engine in system.kernel(majority[0]).engines.values():
+        if engine.installed and engine.view is not None:
+            view = engine.view
+    assert view is not None and len(view.members) == len(majority), (
+        "minority members not evicted")
+    return {
+        "wedged_seconds": round(wedged, 4),
+        "flush_runs": counters["runs"] - runs_before,
+        "flush_wire_msgs": counters["wire_msgs"],
+        "batched_removals": system.sim.trace.value("sv.batched_removals"),
+    }
+
+
+def ablation_workload() -> Dict:
+    if SMOKE:
+        site_counts = [8]
+        steps = 2
+        snap_sizes = [65536]
+    else:
+        site_counts = [8, 16, 32]
+        steps = 3
+        snap_sizes = [65536, 4 << 20]
+
+    results: Dict[str, Dict] = {}
+    for sites in site_counts:
+        for fast in (True, False):
+            tag = "fast" if fast else "legacy"
+            results[f"roll:{sites}s:{tag}"] = rolling_restart(
+                sites, fast, steps)
+            if SMOKE:
+                continue
+            results[f"flap:{sites}s:{tag}"] = flapping(sites, fast, cycles=3)
+            results[f"part:{sites}s:{tag}"] = partition_heal(sites, fast)
+    if not SMOKE:
+        join_sites = 8
+        for fast in (True, False):
+            tag = "fast" if fast else "legacy"
+            for snap in snap_sizes:
+                results[f"mjoin:{snap >> 10}KB:{tag}"] = mass_join(
+                    join_sites, fast, snap)
+
+    rows = [
+        (key,
+         metrics.get("wedged_seconds"),
+         metrics.get("wedged_per_change", "-"),
+         metrics.get("flush_wire_msgs", "-"),
+         metrics.get("last_join_seconds", "-"))
+        for key, metrics in results.items()
+    ]
+    print_table(
+        "Ablation A5 — view-change engine (wedged time = unavailability)",
+        ["config", "wedged s", "wedged/change", "flush msgs", "last join s"],
+        rows,
+    )
+
+    headline_sites = 16 if 16 in site_counts else site_counts[0]
+    fast_roll = results[f"roll:{headline_sites}s:fast"]
+    legacy_roll = results[f"roll:{headline_sites}s:legacy"]
+    speedup = (legacy_roll["wedged_seconds"]
+               / max(fast_roll["wedged_seconds"], 1e-9))
+    msg_ratio = (fast_roll["flush_wire_msgs"]
+                 / max(legacy_roll["flush_wire_msgs"], 1))
+    print(f"\n{headline_sites}-site quiescent rolling restart: fast-flush "
+          f"{speedup:.2f}x lower wedged-time, "
+          f"{100 * (1 - msg_ratio):.0f}% fewer flush wire messages")
+
+    metrics: Dict[str, float] = {"abl5:wedged_speedup": round(speedup, 2)}
+    for key, m in results.items():
+        metrics[f"abl5:{key}:wedged"] = m["wedged_seconds"]
+
+    if not SMOKE:
+        small, big = snap_sizes[0], snap_sizes[-1]
+        fast_ratio = (results[f"mjoin:{big >> 10}KB:fast"]["wedged_seconds"]
+                      / max(results[f"mjoin:{small >> 10}KB:fast"]
+                            ["wedged_seconds"], 1e-9))
+        legacy_ratio = (
+            results[f"mjoin:{big >> 10}KB:legacy"]["wedged_seconds"]
+            / max(results[f"mjoin:{small >> 10}KB:legacy"]
+                  ["wedged_seconds"], 1e-9))
+        metrics["abl5:mjoin_fast_scaling"] = round(fast_ratio, 3)
+        metrics["abl5:mjoin_legacy_scaling"] = round(legacy_ratio, 3)
+        print(f"mass-join wedged-time scaling {small >> 10}KB -> "
+              f"{big >> 10}KB snapshot: fast x{fast_ratio:.2f}, "
+              f"legacy x{legacy_ratio:.2f}")
+        with open(_RESULTS_PATH, "w") as fh:
+            json.dump({
+                "workload": {
+                    "site_counts": site_counts,
+                    "rolling_restart_steps": steps,
+                    "snapshot_sizes": snap_sizes,
+                },
+                "configs": results,
+                "rolling_restart_wedged_speedup_16site": round(speedup, 2),
+                "massjoin_wedged_scaling_fast": round(fast_ratio, 3),
+                "massjoin_wedged_scaling_legacy": round(legacy_ratio, 3),
+            }, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return metrics
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_viewchange_ablation(benchmark):
+    metrics = run_one(benchmark, ablation_workload)
+    if SMOKE:
+        # CI gate: fast-flush must beat the legacy flush on wedged time.
+        assert metrics["abl5:wedged_speedup"] > 1.0
+        return
+    # Acceptance: >= 2x lower wedged-time on the 16-site quiescent
+    # rolling restart, and streaming join transfer keeps group wedged
+    # time flat in snapshot size while the legacy blob path scales.
+    assert metrics["abl5:wedged_speedup"] >= 2.0
+    assert metrics["abl5:mjoin_fast_scaling"] <= 1.10
+    assert metrics["abl5:mjoin_fast_scaling"] \
+        <= metrics["abl5:mjoin_legacy_scaling"]
+
+
+if __name__ == "__main__":
+    ablation_workload()
+    if not SMOKE:
+        print(f"\nresults written to {os.path.abspath(_RESULTS_PATH)}")

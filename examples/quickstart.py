@@ -27,6 +27,13 @@ def main() -> None:
     # messages it unblocks, so deep pending buffers drain in O(1) per
     # message.  indexed_delivery=False selects the legacy rescan engine
     # (same trajectories, byte for byte) — see BENCH_delivery.json.
+    # View changes use the fast flush by default (IsisConfig.fast_flush):
+    # site failures commit in a single round trip via unsolicited
+    # pre-reports, reports are delta-encoded and pruned, and large join
+    # snapshots stream in chunks so the group never wedges behind a
+    # transfer — ~4x lower unavailability per view change; fast_flush=
+    # False reproduces the paper's 4-phase flush wire protocol exactly
+    # (see BENCH_viewchange.json).
     system = IsisCluster(n_sites=3, seed=7)
 
     # --- one member process per site -----------------------------------

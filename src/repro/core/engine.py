@@ -55,7 +55,14 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 from ..errors import GroupError
 from ..msg.address import Address
+from ..msg.fields import (
+    apply_have_diff,
+    decode_have_vector,
+    encode_have_vector,
+    exact_diff_have_vector,
+)
 from ..msg.message import Message
+from ..sim.core import Timer
 from .flush import FlushCoordinator, FlushId, FlushReason
 from .pipeline import DeliveryPipeline, _decode_pairs, _encode_pairs
 from .store import MessageStore
@@ -95,12 +102,32 @@ class GroupEngine:
         # Flush participant state.
         self._participant_fid: FlushId = (0, 0, 0)
         self._expect_union: Optional[Dict[int, int]] = None
+        #: Base union from the last fast ``g.fl.begin`` (delta reports).
+        self._begin_base: Optional[Dict[int, int]] = None
+        #: (target view, coordinator site) we last pushed a pre-report to.
+        self._pre_reported: Optional[Tuple[int, int]] = None
         # Flush coordinator state.
         self._reasons: List[FlushReason] = []
         self._active: Optional[FlushCoordinator] = None
         self._attempt = 0
+        #: Unsolicited pre-reports stashed before our flush starts:
+        #: target view -> site -> (have, ab_pending, ab_delivered).
+        self._pre_reports: Dict[int, Dict[int, Tuple]] = {}
+        self._grace_timer: Optional[Timer] = None
         #: ABCAST finals this site has delivered (ref -> prio), per view.
         self._delivered_finals: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        #: Highest final priority delivered in this view (monotone:
+        #: two-phase and sequencer deliveries both occur in increasing
+        #: final order), piggybacked so peers can prune their reports.
+        self._delivery_floor: Tuple[int, int] = (0, 0)
+        self._pruned_floor: Tuple[int, int] = (0, 0)
+        # Flush observability (aggregated by ProtocolsProcess.stats()).
+        self.wedged_seconds = 0.0
+        self._wedged_at: Optional[float] = None
+        self.flush_rounds = 0
+        self.fast_path_hits = 0
+        self.fast_path_misses = 0
+        self.refill_bytes = 0
         #: Client kernels to push view updates to.
         self.watcher_sites: Set[int] = set()
         #: Local pg_monitor callbacks: callback(view).
@@ -231,6 +258,53 @@ class GroupEngine:
                              final: Tuple[int, int]) -> None:
         """The total-order stage delivered ``ref`` (flush reporting)."""
         self._delivered_finals[ref] = final
+        if final > self._delivery_floor:
+            self._delivery_floor = final
+
+    @property
+    def delivery_floor(self) -> Tuple[int, int]:
+        """Highest final priority delivered in the current view.
+
+        Both total-order engines deliver in increasing final-priority
+        order (a queued smaller priority blocks everything above it, and
+        a later arrival's proposal — which lower-bounds its final —
+        exceeds every priority already delivered), so a floor of ``f``
+        means *every* ABCAST with final ≤ f has been delivered here.
+        """
+        return self._delivery_floor
+
+    def prune_delivered_finals(self) -> int:
+        """Drop delivered finals known delivered at every member site.
+
+        The pointwise minimum over all members' piggybacked delivery
+        floors bounds a prefix of the view's final order that everyone
+        has delivered: such refs are pending nowhere, so the flush cut
+        never needs their priorities — reporting them would only be
+        (re-)excluded by the delivered-everywhere rule.  This keeps
+        ``g.fl.ok`` reports from scaling with the view's ABCAST history.
+        """
+        if not self.kernel.config.fast_flush or self.view is None:
+            return 0
+        floors = self.pipeline.stability.peer_delivery_floors()
+        floor = self._delivery_floor
+        for site in self.view.member_sites():
+            if site == self.site_id:
+                continue
+            peer = floors.get(site)
+            if peer is None:
+                return 0  # a member's delivery progress is unknown
+            if peer < floor:
+                floor = peer
+        if floor <= self._pruned_floor:
+            return 0
+        self._pruned_floor = floor
+        victims = [ref for ref, prio in self._delivered_finals.items()
+                   if prio <= floor]
+        for ref in victims:
+            del self._delivered_finals[ref]
+        if victims:
+            self.sim.trace.bump("flush.finals_pruned", len(victims))
+        return len(victims)
 
     def deliver_env(self, env: Message) -> None:
         user = env["m"].copy()
@@ -282,6 +356,15 @@ class GroupEngine:
             return
         if not self.is_coordinator_site():
             return
+        config = self.kernel.config
+        # Taking over a flush another coordinator began (it died
+        # mid-flush): run a conservative explicit-begin round with full
+        # reports instead of trusting pre-reports addressed elsewhere.
+        takeover = (self.wedged and self._participant_fid[1] > 0
+                    and self._participant_fid[2] != self.site_id)
+        fast = config.fast_flush and not takeover
+        if takeover:
+            self.sim.trace.bump("flush.takeover_full")
         self._attempt += 1
         flush_id: FlushId = (self.view.view_id + 1, self._attempt, self.site_id)
         if self.kernel.config.gbcast_batching:
@@ -305,16 +388,71 @@ class GroupEngine:
             s for s in self.view.member_sites() if s in alive
         }
         participants.add(self.site_id)
+        base = self._flush_base() if fast else None
         self._active = FlushCoordinator(flush_id, self.view, reasons,
-                                        participants=participants)
+                                        participants=participants, base=base)
+        self.flush_rounds += 1
         self.sim.trace.bump("flush.runs")
         self.sim.trace.log("flush.begin", (str(self.gid), flush_id))
-        begin = Message(_proto="g.fl.begin", gid=self.gid, fid=list(flush_id))
-        for site in participants:
-            if site != self.site_id:
-                self.kernel.send_to_site(site, begin)
         self._wedge(flush_id)
+        stragglers = sorted(participants - {self.site_id})
+        if fast:
+            stash = self._pre_reports.pop(self.view.view_id + 1, {})
+            for site in list(stragglers):
+                snap = stash.get(site)
+                if snap is not None:
+                    stragglers.remove(site)
+                    self.sim.trace.bump("flush.prereports_used")
+                    self._offer_report(site, snap[0], snap[1], snap[2])
+        if stragglers:
+            expect_pre = (fast and config.flush_prereport_grace > 0
+                          and any(r.site_death for r in reasons))
+            if expect_pre:
+                # Survivors observed the same site-view change and are
+                # pushing pre-reports right now: wait briefly instead
+                # of paying the begin round.  The window scales with the
+                # fan-in — N reports serialize through our receive CPU.
+                grace = (config.flush_prereport_grace
+                         + 0.01 * len(participants))
+                self._grace_timer = self.sim.call_after(
+                    grace, self._begin_stragglers, flush_id)
+            else:
+                self._send_begins(stragglers, flush_id)
         self._send_flush_ok(self.site_id, flush_id)
+
+    def _flush_base(self) -> Dict[int, int]:
+        """Expected union: own have-vector max-merged with everything
+        piggybacked stability has taught us about the peers."""
+        vectors = [self.store.have_vector()]
+        vectors.extend(self.pipeline.stability.peer_have_vectors().values())
+        return MessageStore.union(vectors)
+
+    def _send_begins(self, sites: List[int], flush_id: FlushId) -> None:
+        active = self._active
+        if active is None or active.flush_id != flush_id:
+            return
+        begin = Message(_proto="g.fl.begin", gid=self.gid, fid=list(flush_id))
+        if active.base is not None:
+            begin["base_b"] = encode_have_vector(active.base)
+        for site in sites:
+            active.begins_sent += 1
+            self._send_flush_msg(site, begin)
+
+    def _begin_stragglers(self, flush_id: FlushId) -> None:
+        """Pre-report grace expired: explicitly solicit what's missing."""
+        self._grace_timer = None
+        active = self._active
+        if (active is None or active.flush_id != flush_id
+                or active.phase != "collect"):
+            return
+        missing = sorted(active.member_sites - active.reported_sites())
+        if missing:
+            self.sim.trace.bump("flush.grace_begins")
+            self._send_begins(missing, flush_id)
+
+    def _send_flush_msg(self, site: int, msg: Message) -> None:
+        self.sim.trace.bump("flush.wire_msgs")
+        self.kernel.send_to_site(site, msg)
 
     def restart_flush(self, extra_removals: Tuple[Address, ...]) -> None:
         """A member died mid-flush: rerun with it removed."""
@@ -322,18 +460,64 @@ class GroupEngine:
             return
         old = self._active
         self._active = None
+        if self._grace_timer is not None:
+            self._grace_timer.cancel()
+            self._grace_timer = None
+        self.sim.trace.bump("flush.restarts")
         self._reasons = old.reasons + self._reasons
         if extra_removals:
             self._reasons.append(FlushReason(kind="remove",
-                                             removals=extra_removals))
+                                             removals=extra_removals,
+                                             site_death=True))
+        if self.kernel.config.fast_flush and self.view is not None:
+            # Reuse the survivors' reports: each reporter has been
+            # wedged since its snapshot (nothing new initiated) and
+            # stores never trim while wedged, so the snapshot is still
+            # a valid basis for the retry's union cut and refill plan.
+            stash = self._pre_reports.setdefault(self.view.view_id + 1, {})
+            for site, snap in old.report_snapshots().items():
+                if site != self.site_id and site not in stash:
+                    stash[site] = snap
+                    self.sim.trace.bump("flush.reports_reused")
         self.maybe_start_flush()
 
     def _on_flush_ok(self, src_site: int, msg: Message) -> None:
-        if self._active is None or list(self._active.flush_id) != msg["fid"]:
+        fid: FlushId = (msg["fid"][0], msg["fid"][1], msg["fid"][2])
+        active = self._active
+        if active is not None and active.flush_id == fid:
+            have, abp, abd = self._decode_report(msg, active.base)
+            self._offer_report(src_site, have, abp, abd)
             return
-        self._offer_report(
-            src_site,
-            _decode_pairs(msg["have"]),
+        if (not self.kernel.config.fast_flush or fid[1] != 0
+                or fid[2] != self.site_id):
+            return
+        # Unsolicited pre-report (attempt 0, addressed to us).
+        if (active is not None and active.flush_id[0] == fid[0]
+                and active.phase == "collect"):
+            have, abp, abd = self._decode_report(msg, None)
+            self._offer_report(src_site, have, abp, abd)
+        elif (self.view is not None and self.installed
+                and fid[0] > self.view.view_id):
+            self._pre_reports.setdefault(fid[0], {}).setdefault(
+                src_site, self._decode_report(msg, None))
+
+    def _decode_report(self, msg: Message,
+                       base: Optional[Dict[int, int]]) -> Tuple:
+        """Normalize the three report have-vector encodings.
+
+        ``have``: legacy pair list; ``have_b``: varint-compact full
+        vector (pre-reports and full rounds); ``have_d``: exact diff
+        against the base union announced in ``g.fl.begin``.
+        """
+        if "have" in msg:
+            have = _decode_pairs(msg["have"])
+        elif "have_d" in msg:
+            have = apply_have_diff(
+                base or {}, decode_have_vector(bytes(msg["have_d"])))
+        else:
+            have = decode_have_vector(bytes(msg["have_b"]))
+        return (
+            have,
             msg["abp"],
             [[(r[0][0], r[0][1]), (r[1][0], r[1][1])] for r in msg["abd"]],
         )
@@ -347,7 +531,13 @@ class GroupEngine:
     def _start_fill_phase(self) -> None:
         assert self._active is not None
         active = self._active
+        if self._grace_timer is not None:
+            self._grace_timer.cancel()
+            self._grace_timer = None
         complete = active.complete_sites()
+        pulls = active.compute_pulls()
+        if pulls:
+            self.sim.trace.bump("flush.refills")
         expect = Message(
             _proto="g.fl.expect", gid=self.gid,
             fid=list(active.flush_id), union=_encode_pairs(active.union),
@@ -356,8 +546,8 @@ class GroupEngine:
             if site == self.site_id:
                 self._on_flush_expect(expect)
             else:
-                self.kernel.send_to_site(site, expect)
-        for holder, sends in active.compute_pulls().items():
+                self._send_flush_msg(site, expect)
+        for holder, sends in pulls.items():
             pull = Message(
                 _proto="g.fl.pull", gid=self.gid,
                 fid=list(active.flush_id),
@@ -366,7 +556,7 @@ class GroupEngine:
             if holder == self.site_id:
                 self._on_flush_pull(pull)
             else:
-                self.kernel.send_to_site(holder, pull)
+                self._send_flush_msg(holder, pull)
         for site in complete:
             self._note_filled(site)
 
@@ -383,23 +573,38 @@ class GroupEngine:
     def _commit_flush(self) -> None:
         assert self._active is not None
         active = self._active
+        if self._grace_timer is not None:
+            self._grace_timer.cancel()
+            self._grace_timer = None
         new_view = active.next_view()
         event: Dict = {"view": new_view.to_value()}
-        joiner = None
+        joiners: List[Address] = []
+        transfer = False
         for reason in active.reasons:
             if reason.kind == "join" and reason.joiner is not None:
-                joiner = reason.joiner
-                event["joiner"] = joiner
-                event["transfer"] = reason.transfer_state and bool(
-                    active.view.members)
-                source = active.view.coordinator()
-                event["source"] = source
+                if reason.joiner not in joiners:
+                    joiners.append(reason.joiner)
+                transfer = transfer or (
+                    reason.transfer_state and bool(active.view.members))
             elif reason.kind in ("gbcast", "config") and reason.payload is not None:
                 event.setdefault("payloads", []).append({
                     "kind": reason.kind,
                     "m": Message.decode(reason.payload),
                     "entry": reason.user_entry,
                 })
+        if joiners:
+            # Concurrent joiners batch into one flush; they all receive
+            # welcomes and share one snapshot encode at the source.
+            event["joiner"] = joiners[0]
+            event["joiners"] = joiners
+            event["transfer"] = transfer
+            event["source"] = active.view.coordinator()
+        if active.base is not None:
+            if active.begins_sent == 0:
+                self.fast_path_hits += 1
+                self.sim.trace.bump("flush.fast_path")
+            else:
+                self.fast_path_misses += 1
         commit = Message(
             _proto="g.fl.commit", gid=self.gid,
             fid=list(active.flush_id),
@@ -410,7 +615,7 @@ class GroupEngine:
                                             new_view.view_id))
         for site in active.member_sites:
             if site != self.site_id:
-                self.kernel.send_to_site(site, commit)
+                self._send_flush_msg(site, commit)
         self._active = None
         self.kernel.on_flush_committed(self, active, new_view, event)
         self._on_flush_commit(commit)
@@ -420,9 +625,12 @@ class GroupEngine:
     # Flush: participant side
     # ------------------------------------------------------------------
     def _wedge(self, fid: FlushId) -> None:
+        if not self.wedged:
+            self._wedged_at = self.sim.now
         self.wedged = True
         self._participant_fid = fid
         self._expect_union = None
+        self._begin_base = None
         # Push coalescing buffers out now: what peers receive before
         # their reports shrinks the refill the coordinator must arrange.
         self.pipeline.on_wedge()
@@ -430,27 +638,65 @@ class GroupEngine:
     def _on_flush_begin(self, src_site: int, msg: Message) -> None:
         fid: FlushId = (msg["fid"][0], msg["fid"][1], msg["fid"][2])
         if fid < self._participant_fid:
-            return
+            # A lower fid is normally a stale coordinator's — unless it
+            # comes from the *current* acting coordinator targeting the
+            # same (or a later) view: the previous coordinator died
+            # mid-flush and its successor's attempt counter restarted.
+            # (fast_flush only: legacy mode keeps the original exact
+            # fid-ordering acceptance, wire behavior unchanged.)
+            acting = self.acting_coordinator() \
+                if self.kernel.config.fast_flush else None
+            if (acting is None or acting.site != src_site
+                    or fid[0] < self._participant_fid[0]):
+                return
         self._wedge(fid)
+        if "base_b" in msg:
+            self._begin_base = decode_have_vector(bytes(msg["base_b"]))
         self._send_flush_ok(src_site, fid)
 
-    def _send_flush_ok(self, to_site: int, fid: FlushId) -> None:
+    def _send_flush_ok(self, to_site: int, fid: FlushId,
+                       pre: bool = False) -> None:
         report = Message(
             _proto="g.fl.ok", gid=self.gid, fid=list(fid),
-            have=_encode_pairs(self.store.have_vector()),
             abp=self.total.pending_state(),
             abd=[[list(ref), list(prio)]
                  for ref, prio in sorted(self._delivered_finals.items())],
         )
+        have = self.store.have_vector()
+        if self.kernel.config.fast_flush:
+            if self._begin_base is not None and not pre:
+                # Delta against the begin's announced union: usually
+                # empty (the "ack"), a handful of entries otherwise.
+                report["have_d"] = encode_have_vector(
+                    exact_diff_have_vector(self._begin_base, have))
+            else:
+                report["have_b"] = encode_have_vector(have)
+            if pre:
+                report["pre"] = True
+        else:
+            report["have"] = _encode_pairs(have)
         if to_site == self.site_id:
             self._on_flush_ok(self.site_id, report)
         else:
-            self.kernel.send_to_site(to_site, report)
+            self._send_flush_msg(to_site, report)
 
     def _on_flush_expect(self, msg: Message) -> None:
         fid: FlushId = (msg["fid"][0], msg["fid"][1], msg["fid"][2])
         if fid != self._participant_fid:
-            return
+            # A coordinator that consumed our unsolicited pre-report
+            # (attempt 0) runs its flush under a higher fid than the one
+            # we wedged with; its expect supersedes ours exactly as a
+            # begin would — but only the *acting* coordinator's: a
+            # deposed coordinator's delayed expect must not hijack the
+            # participant fid (its data/filled exchange would then be
+            # ignored, stalling the successor's flush).
+            acting = self.acting_coordinator() \
+                if self.kernel.config.fast_flush else None
+            if (acting is None or acting.site != fid[2] or not self.wedged
+                    or fid < self._participant_fid
+                    or fid[0] != self._participant_fid[0]):
+                return
+            self._participant_fid = fid
         self._expect_union = _decode_pairs(msg["union"])
         self._check_filled(fid)
 
@@ -463,10 +709,13 @@ class GroupEngine:
         for needy, envs in batches.items():
             data = Message(_proto="g.fl.data", gid=self.gid,
                            fid=msg["fid"], msgs=envs)
+            nbytes = sum(env.size_bytes for env in envs)
+            self.refill_bytes += nbytes
+            self.sim.trace.bump("flush.refill_bytes", nbytes)
             if needy == self.site_id:
                 self._on_flush_data(data)
             else:
-                self.kernel.send_to_site(needy, data)
+                self._send_flush_msg(needy, data)
 
     def _on_flush_data(self, msg: Message) -> None:
         for env in msg["msgs"]:
@@ -489,7 +738,7 @@ class GroupEngine:
         if coordinator_site == self.site_id:
             self._on_flush_filled(self.site_id, filled)
         else:
-            self.kernel.send_to_site(coordinator_site, filled)
+            self._send_flush_msg(coordinator_site, filled)
         self._expect_union = None
 
     def _on_flush_commit(self, msg: Message) -> None:
@@ -537,6 +786,9 @@ class GroupEngine:
                 monitor(new_view)
         # 5. Resume.
         self.wedged = False
+        if self._wedged_at is not None:
+            self.wedged_seconds += self.sim.now - self._wedged_at
+            self._wedged_at = None
         outbox, self._outbox = self._outbox, []
         if still_member:
             for resend in outbox:
@@ -554,6 +806,16 @@ class GroupEngine:
         self.store.reset()
         self.pipeline.on_new_view()
         self._delivered_finals.clear()
+        self._delivery_floor = (0, 0)
+        self._pruned_floor = (0, 0)
+        self._pre_reported = None
+        if self._pre_reports:
+            view_id = self.view.view_id if self.view is not None else 0
+            self._pre_reports = {
+                target: reports
+                for target, reports in self._pre_reports.items()
+                if target > view_id
+            }
 
     # ------------------------------------------------------------------
     # Failure events
@@ -576,7 +838,37 @@ class GroupEngine:
                 self.restart_flush(extra_removals=dead_members)
             else:
                 self.enqueue_reason(FlushReason(kind="remove",
-                                                removals=dead_members))
+                                                removals=dead_members,
+                                                site_death=True))
+        elif self.kernel.config.fast_flush:
+            self._push_pre_report()
+
+    def _push_pre_report(self) -> None:
+        """Site-view change removed members: wedge now and push our
+        report to the predicted coordinator before it even asks.
+
+        Every survivor observes the same agreed site-view install, so
+        the acting coordinator (the oldest member on a surviving site)
+        is a shared deterministic prediction; it collects these
+        unsolicited reports and commits in a single round trip — no
+        ``g.fl.begin`` round.  Missing reports (a lagging participant)
+        fall back to an explicit begin after the coordinator's grace.
+        """
+        acting = self.acting_coordinator()
+        if acting is None or acting.site == self.site_id or self.view is None:
+            return
+        target = self.view.view_id + 1
+        key = (target, acting.site)
+        if self._pre_reported == key:
+            return
+        fid = self._participant_fid
+        if fid[0] == target and fid[1] > 0 and fid[2] == acting.site:
+            return  # already serving this coordinator's explicit round
+        self._pre_reported = key
+        fid0: FlushId = (target, 0, acting.site)
+        self._wedge(fid0)
+        self.sim.trace.bump("flush.prereports_sent")
+        self._send_flush_ok(acting.site, fid0, pre=True)
 
     def on_local_member_died(self, member: Address) -> None:
         """A member process at this site died (local detection)."""
@@ -609,3 +901,4 @@ class GroupEngine:
     def start_stability_round(self) -> None:
         """Fallback GC round; a no-op while piggybacked stability trims."""
         self.pipeline.stability.start_round()
+        self.pipeline.stability.maybe_announce_floors()

@@ -48,6 +48,11 @@ class FlushReason:
     user_entry: int = 0
     transfer_state: bool = True        # joins: run state transfer?
     reply_site: Optional[int] = None   # site to notify when done (join/leave)
+    #: Removal caused by a *site-view* change: with ``fast_flush`` every
+    #: surviving participant observed the same change and is pushing an
+    #: unsolicited pre-report, so the coordinator can skip the
+    #: ``g.fl.begin`` round and wait for the reports directly.
+    site_death: bool = False
 
 
 @dataclass
@@ -68,7 +73,8 @@ class FlushCoordinator:
 
     def __init__(self, flush_id: FlushId, view: View,
                  reasons: List[FlushReason],
-                 participants: Optional[Set[int]] = None):
+                 participants: Optional[Set[int]] = None,
+                 base: Optional[Dict[int, int]] = None):
         self.flush_id = flush_id
         self.view = view
         self.reasons = reasons
@@ -80,6 +86,12 @@ class FlushCoordinator:
         self._filled: Set[int] = set()
         self.union: Dict[int, int] = {}
         self.phase = "collect"  # collect -> fill -> done
+        #: Fast flush: the expected union announced in ``g.fl.begin``;
+        #: participants delta-encode their have-vectors against it.
+        self.base: Optional[Dict[int, int]] = base
+        #: ``g.fl.begin`` messages actually sent (0 = pure pre-report
+        #: round: the fast path's single-round wedge→commit).
+        self.begins_sent = 0
 
     # -- phase 1: collect reports ------------------------------------------
     def offer_report(self, site: int, have: Dict[int, int],
@@ -100,6 +112,25 @@ class FlushCoordinator:
             self.phase = "fill"
             return True
         return False
+
+    def reported_sites(self) -> Set[int]:
+        return set(self._reports)
+
+    def report_snapshots(self) -> Dict[int, Tuple]:
+        """Raw (have, ab_pending, ab_delivered) per reported site.
+
+        A flush restart (member died mid-flush) may reuse a survivor's
+        report instead of re-soliciting it: the site has been wedged
+        since the snapshot was taken, so nothing it *initiated* is
+        missing from it, and stores never trim while wedged, so every
+        reported message can still be supplied for refill.  Receptions
+        since the snapshot only make the report conservative — the same
+        in-flight-at-wedge window the base protocol already has.
+        """
+        return {
+            site: (report.have, report.ab_pending, report.ab_delivered)
+            for site, report in self._reports.items()
+        }
 
     # -- phase 2: refill -------------------------------------------------------
     def compute_pulls(self) -> Dict[int, List[Tuple[int, int, int]]]:

@@ -51,6 +51,15 @@ CC_REPLY_ENTRY = 3
 _HEARTBEAT_PAYLOAD = b"hb"
 
 
+def _event_joiners(event: Dict) -> List[Address]:
+    """Joiners a flush commit admitted (legacy single-joiner compat)."""
+    joiners = event.get("joiners")
+    if joiners:
+        return list(joiners)
+    joiner = event.get("joiner")
+    return [joiner] if joiner is not None else []
+
+
 @dataclass
 class IsisConfig:
     """Kernel tunables."""
@@ -107,6 +116,30 @@ class IsisConfig:
     #: on every delivery); both produce byte-identical delivery
     #: trajectories, which differential tests exploit.
     indexed_delivery: bool = True
+    #: Fast view-change engine (the default).  Three mechanisms shrink
+    #: the unavailability window of the flush: (1) *pre-reports* — when
+    #: a site view removes group members, every surviving participant
+    #: wedges immediately and pushes its FLUSH_OK to the predicted
+    #: coordinator unsolicited, collapsing wedge→commit to a single
+    #: round trip (no ``g.fl.begin`` round); (2) *delta reports* —
+    #: ``g.fl.begin`` carries the coordinator's expected union
+    #: (varint-compact) and participants reply with only the entries
+    #: that differ, while delivered ABCAST finals are continuously
+    #: pruned via piggybacked delivery floors so reports stop scaling
+    #: with the view's multicast history; (3) *streaming joins* — large
+    #: snapshots stream to joiners in chunks over the bulk channel
+    #: (concurrent joiners share one encode) instead of one blob.
+    #: ``False`` reproduces the original 4-phase flush wire protocol
+    #: exactly (kept for differential testing).
+    fast_flush: bool = True
+    #: How long a fast-flush coordinator waits for expected pre-reports
+    #: before falling back to an explicit ``g.fl.begin`` round for the
+    #: stragglers.  Sized at a few inter-site round trips.
+    flush_prereport_grace: float = 0.25
+    #: Chunk size for streaming join state transfer (fast_flush only);
+    #: snapshots above ``bulk_threshold`` ship as a sequence of
+    #: ``st.chunk`` bulk transfers of this size instead of one blob.
+    transfer_chunk_bytes: int = 65536
 
 
 #: A blocked CBCAST is identified kernel-wide by the group it is pending
@@ -240,7 +273,8 @@ class WaitIndex:
 
 class _JoinState:
     __slots__ = ("process", "gid", "credentials", "promise", "timer",
-                 "welcomed", "transfer_timer", "tried")
+                 "welcomed", "transfer_timer", "tried", "stream_xid",
+                 "stream_buf")
 
     def __init__(self, process: IsisProcess, gid: Address, credentials: Any,
                  promise: Promise):
@@ -253,6 +287,9 @@ class _JoinState:
         self.welcomed = False
         #: Contact sites already tried (rotate when the contact is dead).
         self.tried: Set[int] = set()
+        #: Streaming state transfer reassembly (fast_flush).
+        self.stream_xid: Optional[int] = None
+        self.stream_buf: List[bytes] = []
 
 
 class ProtocolsProcess:
@@ -319,6 +356,17 @@ class ProtocolsProcess:
         #: the fire-and-forget message must still reach a live member.
         self._fwd_unacked: Set[int] = set()
         self._outstanding_sends: Dict[Address, List[Promise]] = {}
+        #: Outgoing join-snapshot streams: (gid, joiner process) -> state.
+        self._out_streams: Dict[Tuple[Address, Address], Dict[str, Any]] = {}
+        self._next_xfer_id = 1
+        self._xfer_chunks_sent = 0
+        self._xfer_stream_bytes = 0
+        self._xfer_streams_aborted = 0
+        #: Flush counters of engines since retired from this kernel
+        #: (stats must not drop when a group leaves).
+        self._retired_flush = {"wedged_seconds": 0.0, "rounds": 0,
+                               "fast_hits": 0, "fast_misses": 0,
+                               "refill_bytes": 0}
         # Extension hooks for the tools layer.
         self.view_hooks: List[Callable] = []
         self.site_view_hooks: List[Callable] = []
@@ -382,12 +430,20 @@ class ProtocolsProcess:
             promise.reject(SiteDown(f"site {dst_site} down"))
             return promise
 
-    def bulk_to_site(self, dst_site: int, msg: Message) -> None:
-        """Ship a large message over the TCP-like bulk channel."""
+    def bulk_to_site(self, dst_site: int, msg: Message) -> Promise:
+        """Ship a large message over the TCP-like bulk channel.
+
+        Returns the transfer promise (resolved once the receiver has
+        dispatched the message, rejected on a crashed endpoint) so
+        callers can chain sequential transfers — the streaming state
+        transfer sends its next chunk only when the previous landed.
+        """
         data = msg.encode()
         dst = self.site.cluster.sites.get(dst_site)
         if dst is None or not dst.up:
-            return
+            promise = Promise(label=f"bulk-to-down-site:{dst_site}")
+            promise.reject(SiteDown(f"site {dst_site} down"))
+            return promise
         promise = self.site.cluster.bulk.transfer(
             self.site_id, dst_site, data, self.site.cpu, dst.cpu)
 
@@ -399,6 +455,7 @@ class ProtocolsProcess:
                 kernel._dispatch(self.site_id, Message.decode(p.value))
 
         promise.add_done_callback(arrived)
+        return promise
 
     def _on_transport_message(self, src_site: int, data: bytes) -> None:
         if not self.alive:
@@ -467,6 +524,8 @@ class ProtocolsProcess:
             self._on_view_update(msg)
         elif proto == "st.data":
             self._on_state_data(msg)
+        elif proto == "st.chunk":
+            self._on_state_chunk(msg)
         elif proto == "st.req":
             self._on_state_rerequest(src_site, msg)
         elif proto == "st.send":
@@ -661,12 +720,16 @@ class ProtocolsProcess:
         # Watch local member processes for death (local failure detection).
         for member in new_view.members_at(self.site_id):
             self._watch_member(engine, member)
-        # State transfer: the designated source ships state to the joiner.
-        joiner = event.get("joiner")
+        # State transfer: the designated source ships state to every
+        # joiner this flush admitted (one shared snapshot encode).
+        joiners = _event_joiners(event)
         source = event.get("source")
-        if (joiner is not None and event.get("transfer")
+        if (joiners and event.get("transfer")
                 and source is not None and source.site == self.site_id):
-            self._send_state(engine, source, joiner)
+            self._send_state(engine, source, joiners)
+        # A member removed in this view dies with its snapshot stream.
+        for member in removed:
+            self._abort_state_stream(engine.gid, member.process())
         # GBCAST payload sessions: the caller learns the delivery view.
         for payload in event.get("payloads", []):
             m = payload["m"]
@@ -681,8 +744,7 @@ class ProtocolsProcess:
     def on_flush_committed(self, engine: GroupEngine, active, new_view: View,
                            event: Dict) -> None:
         """Coordinator-only duties at commit time."""
-        joiner = event.get("joiner")
-        if joiner is not None:
+        for joiner in _event_joiners(event):
             welcome = Message(
                 _proto="g.welcome", gid=engine.gid,
                 view=new_view.to_value(),
@@ -703,6 +765,11 @@ class ProtocolsProcess:
         self._engine_order.pop(key, None)
         self._retired_peak_pending = max(self._retired_peak_pending,
                                          engine.causal.peak_pending)
+        self._retired_flush["wedged_seconds"] += engine.wedged_seconds
+        self._retired_flush["rounds"] += engine.flush_rounds
+        self._retired_flush["fast_hits"] += engine.fast_path_hits
+        self._retired_flush["fast_misses"] += engine.fast_path_misses
+        self._retired_flush["refill_bytes"] += engine.refill_bytes
         # Its pending buffer is gone, and contexts naming it are now
         # trivially satisfied ("not a member: cannot wait").
         self.wait_index.purge_engine(key)
@@ -720,6 +787,16 @@ class ProtocolsProcess:
             self._watched_procs.discard(proc.local_id)
             if not self.alive:
                 return
+            # A joiner that dies mid state-transfer: drop its gated
+            # traffic and pending join bookkeeping cleanly.
+            self._awaiting_state.pop(proc.address.process(), None)
+            for gid, join_state in list(self._joins.items()):
+                if join_state.process is proc:
+                    if join_state.timer is not None:
+                        join_state.timer.cancel()
+                    if join_state.transfer_timer is not None:
+                        join_state.transfer_timer.cancel()
+                    del self._joins[gid]
             for eng in list(self.engines.values()):
                 if eng.view is not None and eng.view.contains(proc.address):
                     eng.on_local_member_died(proc.address)
@@ -739,6 +816,9 @@ class ProtocolsProcess:
         if departed and self.site.transport is not None:
             for site in departed:
                 self.site.transport.reset_channel(site)
+            for key, stream in list(self._out_streams.items()):
+                if stream["site"] in departed:
+                    self._abort_state_stream(key[0], key[1])
             self.sessions_note_sites_failed(departed)
             for engine in list(self.engines.values()):
                 engine.on_sites_died(departed)
@@ -922,7 +1002,7 @@ class ProtocolsProcess:
 
     # -- state transfer -----------------------------------------------------
     def _send_state(self, engine: GroupEngine, source: Address,
-                    joiner: Address) -> None:
+                    joiners: List[Address]) -> None:
         process = self.site.process_by_id(source.local_id)
         if process is None or not process.alive:
             return  # the flush removing us will trigger a re-request
@@ -931,12 +1011,120 @@ class ProtocolsProcess:
                 process, "xfer_segments", {}).items():
             segments[name] = list(encoder())
         payload = Message(_proto="st.data", gid=engine.gid, segments=segments)
-        self.sim.trace.bump("state_transfer.sent")
-        if payload.size_bytes > self.config.bulk_threshold:
-            self.sim.trace.bump("state_transfer.bulk")
-            self.bulk_to_site(joiner.site, payload)
-        else:
-            self.send_to_site(joiner.site, payload)
+        streaming = (self.config.fast_flush
+                     and payload.size_bytes > self.config.bulk_threshold)
+        data = payload.encode() if streaming else None
+        for joiner in joiners:
+            self.sim.trace.bump("state_transfer.sent")
+            if streaming:
+                # Chunked over the bulk channel: the group committed the
+                # new view already, and neither the source CPU nor the
+                # wire is occupied by one snapshot-sized block, so a
+                # concurrent flush never stalls behind the transfer.
+                assert data is not None
+                self._start_state_stream(engine.gid, joiner, data)
+            elif payload.size_bytes > self.config.bulk_threshold:
+                self.sim.trace.bump("state_transfer.bulk")
+                self.bulk_to_site(joiner.site, payload)
+            else:
+                self.send_to_site(joiner.site, payload)
+
+    def _start_state_stream(self, gid: Address, joiner: Address,
+                            data: bytes) -> None:
+        key = (gid.process(), joiner.process())
+        dst = self.site.cluster.sites.get(joiner.site)
+        if dst is None or not dst.up:
+            return
+        xid = self._next_xfer_id
+        self._next_xfer_id += 1
+        chunk = max(1, self.config.transfer_chunk_bytes)
+        chunks = [data[i:i + chunk] for i in range(0, len(data), chunk)] \
+            or [b""]
+        conn = self.site.cluster.bulk.stream(
+            self.site_id, joiner.site, self.site.cpu, dst.cpu)
+        self._out_streams[key] = {
+            "xid": xid, "chunks": chunks, "idx": 0, "site": joiner.site,
+            "conn": conn,
+        }
+        self.sim.trace.bump("state_transfer.streams")
+        self._send_next_chunk(key, xid)
+
+    def _send_next_chunk(self, key: Tuple[Address, Address],
+                         xid: int) -> None:
+        stream = self._out_streams.get(key)
+        if stream is None or stream["xid"] != xid or not self.alive:
+            return
+        idx = stream["idx"]
+        chunks = stream["chunks"]
+        note = Message(_proto="st.chunk", gid=key[0], xid=xid,
+                       idx=idx, n=len(chunks), data=chunks[idx])
+        self._xfer_chunks_sent += 1
+        self._xfer_stream_bytes += len(chunks[idx])
+        self.sim.trace.bump("state_transfer.chunks")
+        self.sim.trace.bump("state_transfer.stream_bytes", len(chunks[idx]))
+        dst_site = stream["site"]
+        promise = stream["conn"].send(note.encode())
+
+        def sent(p: Promise) -> None:
+            stream_now = self._out_streams.get(key)
+            if stream_now is None or stream_now["xid"] != xid:
+                return  # aborted or restarted meanwhile
+            if p.rejected:
+                self._abort_state_stream(key[0], key[1])
+                return
+            kernel = getattr(self.site.cluster.sites.get(dst_site),
+                             "kernel", None)
+            if kernel is not None and kernel.alive:
+                kernel._dispatch(self.site_id, Message.decode(p.value))
+            stream_now["idx"] += 1
+            if stream_now["idx"] >= len(stream_now["chunks"]):
+                self._out_streams.pop(key, None)
+            else:
+                self._send_next_chunk(key, xid)
+
+        promise.add_done_callback(sent)
+
+    def _abort_state_stream(self, gid: Address, joiner: Address) -> None:
+        """Joiner died or left mid-stream: stop shipping its snapshot."""
+        if self._out_streams.pop((gid.process(), joiner.process()),
+                                 None) is not None:
+            self._xfer_streams_aborted += 1
+            self.sim.trace.bump("state_transfer.streams_aborted")
+
+    def _on_state_chunk(self, msg: Message) -> None:
+        gid: Address = msg["gid"]
+        state = self._joins.get(gid.process())
+        if state is None:
+            return  # join finished or abandoned; drop the orphan chunk
+        if state.stream_xid != msg["xid"]:
+            # A restarted stream (source death + re-request): reset.
+            state.stream_xid = msg["xid"]
+            state.stream_buf = []
+        if msg["idx"] != len(state.stream_buf):
+            # Bulk chunks are chained sequentially, so a gap means the
+            # stream restarted out from under us: wait for the retry.
+            state.stream_buf = []
+            state.stream_xid = None
+            return
+        state.stream_buf.append(bytes(msg["data"]))
+        # Chunk progress counts as transfer progress: re-arm the
+        # re-request timer so a slow large snapshot is not re-requested
+        # (and re-sent in full) mid-stream.
+        if state.transfer_timer is not None:
+            state.transfer_timer.cancel()
+            state.transfer_timer = self.sim.call_after(
+                self.config.transfer_retry, self._rerequest_state, state)
+        if msg["idx"] + 1 < msg["n"]:
+            return
+        blob = b"".join(state.stream_buf)
+        state.stream_buf = []
+        state.stream_xid = None
+        try:
+            payload = Message.decode(blob)
+        except CodecError:
+            self.sim.trace.bump("state_transfer.bad_stream")
+            return  # the re-request loop will restart the stream
+        self._on_state_data(payload)
 
     def _on_state_data(self, msg: Message) -> None:
         gid: Address = msg["gid"]
@@ -982,7 +1170,7 @@ class ProtocolsProcess:
     def _on_state_send_order(self, msg: Message) -> None:
         engine = self.engines.get(msg["gid"].process())
         if engine is not None:
-            self._send_state(engine, msg["source"], msg["joiner"])
+            self._send_state(engine, msg["source"], [msg["joiner"]])
 
     # -- leave / kill ------------------------------------------------------------
     def leave_group(self, process: IsisProcess, gid: Address) -> Promise:
@@ -1326,8 +1514,25 @@ class ProtocolsProcess:
             "causal.ctx_cache": 0,
             "wait_index.size": len(self.wait_index),
             "wait_index.peak": self.wait_index.peak_size,
+            "flush.wedged_seconds": self._retired_flush["wedged_seconds"],
+            "flush.rounds": self._retired_flush["rounds"],
+            "flush.fast_path_hits": self._retired_flush["fast_hits"],
+            "flush.fast_path_misses": self._retired_flush["fast_misses"],
+            "flush.refill_bytes": self._retired_flush["refill_bytes"],
+            "state_transfer.chunks": self._xfer_chunks_sent,
+            "state_transfer.stream_bytes": self._xfer_stream_bytes,
+            "state_transfer.streams_aborted": self._xfer_streams_aborted,
+            "state_transfer.streams_active": len(self._out_streams),
         }
         for engine in self.engines.values():
+            wedged = engine.wedged_seconds
+            if engine.wedged and engine._wedged_at is not None:
+                wedged += self.sim.now - engine._wedged_at
+            out["flush.wedged_seconds"] += wedged
+            out["flush.rounds"] += engine.flush_rounds
+            out["flush.fast_path_hits"] += engine.fast_path_hits
+            out["flush.fast_path_misses"] += engine.fast_path_misses
+            out["flush.refill_bytes"] += engine.refill_bytes
             causal = engine.causal
             out["causal.pending"] += causal.pending_count
             out["causal.peak_pending"] = max(out["causal.peak_pending"],

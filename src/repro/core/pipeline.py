@@ -596,6 +596,10 @@ class StabilityStage:
         self.kernel = engine.kernel
         #: Peer site -> best-known have-vector (monotone max-merged).
         self._peer_have: Dict[int, Dict[int, int]] = {}
+        #: Peer site -> best-known ABCAST delivery floor (fast_flush).
+        self._peer_floor: Dict[int, Tuple[int, int]] = {}
+        #: Highest own delivery floor already announced to the group.
+        self._floor_announced: Tuple[int, int] = (0, 0)
         self._recv_since_announce = 0
         self._last_advance = float("-inf")
         #: Fallback-round state (coordinator only): site -> have-vector.
@@ -611,6 +615,10 @@ class StabilityStage:
             return
         msg["stab"] = encode_have_vector(self.engine.store.have_vector())
         msg["stab_view"] = view.view_id
+        if self.kernel.config.fast_flush:
+            floor = self.engine.delivery_floor
+            if floor > (0, 0):
+                msg["stab_df"] = list(floor)
 
     # -- piggyback: ingest -------------------------------------------------
     def ingest_env(self, src_site: int, msg: Message) -> None:
@@ -622,7 +630,34 @@ class StabilityStage:
         except CodecError:
             self.engine.sim.trace.bump("stability.bad_piggyback")
             return
+        self.ingest_floor(src_site, msg.get("stab_df"), msg.get("stab_view"))
         self.ingest(src_site, have, msg.get("stab_view"))
+
+    def ingest_floor(self, src_site: int, floor, stab_view) -> None:
+        """Merge a peer's piggybacked ABCAST delivery floor.
+
+        Floors are per-view like have-vectors; the pointwise minimum
+        over all members bounds the prefix of the final order delivered
+        everywhere, which lets :meth:`GroupEngine.prune_delivered_finals`
+        cap flush-report sizes.  Monotone max-merge, so stale or lost
+        floors are merely conservative.
+        """
+        view = self.engine.view
+        if (floor is None or view is None or stab_view != view.view_id
+                or not self.kernel.config.fast_flush):
+            return
+        value = (floor[0], floor[1])
+        known = self._peer_floor.get(src_site, (0, 0))
+        if value > known:
+            self._peer_floor[src_site] = value
+            self.engine.prune_delivered_finals()
+
+    def peer_have_vectors(self) -> Dict[int, Dict[int, int]]:
+        """Best-known reception state per peer (fast-flush base union)."""
+        return self._peer_have
+
+    def peer_delivery_floors(self) -> Dict[int, Tuple[int, int]]:
+        return self._peer_floor
 
     def ingest(self, src_site: int, have: Optional[Dict[int, int]],
                stab_view: Optional[int]) -> None:
@@ -698,10 +733,31 @@ class StabilityStage:
         note = Message(_proto="g.stab.a", gid=engine.gid,
                        have=_encode_pairs(engine.store.have_vector()),
                        stab_view=view.view_id)
+        if self.kernel.config.fast_flush:
+            floor = engine.delivery_floor
+            if floor > (0, 0):
+                note["df"] = list(floor)
+                self._floor_announced = floor
         engine.sim.trace.bump("stability.announcements")
         for site in view.member_sites():
             if site != engine.site_id:
                 self.kernel.send_to_site(site, note)
+
+    def maybe_announce_floors(self) -> None:
+        """Idle-group floor exchange (fast_flush, periodic tick).
+
+        Under traffic, delivery floors ride the regular piggybacks; a
+        group that goes quiet right after a multicast burst would
+        otherwise leave the tail of its delivered-finals unprunable
+        (peers never learn the last floor advances).  One announcement
+        per advance, stopping as soon as everyone's caught up.
+        """
+        engine = self.engine
+        if (not self.kernel.config.fast_flush or engine.wedged
+                or engine.view is None or not engine.installed):
+            return
+        if engine.delivery_floor > self._floor_announced:
+            self.announce()
 
     # -- fallback rounds (coordinator-driven garbage collection) -----------
     def start_round(self) -> None:
@@ -738,7 +794,9 @@ class StabilityStage:
         view = self.engine.view
         if view is not None:
             # Answers double as announcements (solicited or not).
-            self.ingest(src_site, have, msg.get("stab_view", view.view_id))
+            stab_view = msg.get("stab_view", view.view_id)
+            self.ingest_floor(src_site, msg.get("df"), stab_view)
+            self.ingest(src_site, have, stab_view)
         if self._round_answers is not None:
             self._round_answers[src_site] = have
             self._maybe_finish_round()
@@ -774,6 +832,8 @@ class StabilityStage:
 
     def on_new_view(self) -> None:
         self._peer_have.clear()
+        self._peer_floor.clear()
+        self._floor_announced = (0, 0)
         self._recv_since_announce = 0
         self._round_answers = None
 

@@ -119,14 +119,23 @@ class HeartbeatMonitor:
         for peer in list(self._peers):
             self.send_probe(peer)
         now = self.sim.now
-        # Snapshot: a suspicion callback can synchronously install a new
-        # site view, which calls set_peers() and mutates the dict.
+        # Gather every peer that timed out this tick *before* reporting
+        # any of them: correlated site deaths (a rack power-off, a
+        # partition) then reach the membership agent as one burst, which
+        # its settle window coalesces into a single view round — one
+        # merged-removal flush instead of N serial restarts.
+        burst = []
         for peer, stats in list(self._peers.items()):
-            if peer in self._suspected or peer not in self._peers:
+            if peer in self._suspected:
                 continue
             if now - stats.last_arrival > stats.timeout(self.config):
                 self._suspected.add(peer)
                 self.sim.trace.bump("fd.suspicions")
                 self.sim.trace.log("fd.suspect", (self.site_id, peer))
+                burst.append(peer)
+        if len(burst) > 1:
+            self.sim.trace.bump("fd.suspicion_bursts")
+        for peer in burst:
+            if peer in self._peers:  # a callback may re-set the peer set
                 self.on_suspect(peer)
         self._timer = self.sim.call_after(self.config.interval, self._tick)

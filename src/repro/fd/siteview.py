@@ -64,6 +64,12 @@ class SiteViewConfig:
     ack_timeout: float = 4.0        # re-propose if acks don't arrive
     join_retry: float = 1.0         # booting site re-sends join requests
     bootstrap_timeout: float = 6.0  # lone restarter forms a singleton view
+    #: Settle window before the coordinator proposes a new view: near-
+    #: simultaneous suspicions (correlated site deaths, a partition)
+    #: coalesce into one round with merged removals instead of N serial
+    #: view changes — and therefore one group flush instead of N flush
+    #: restarts.  ``0`` proposes immediately (the original behavior).
+    suspicion_settle: float = 0.05
 
 
 class SiteViewAgent:
@@ -99,6 +105,8 @@ class SiteViewAgent:
         self._round_removals: Set[int] = set()
         self._round_joins: Set[SiteIncarnation] = set()
         self._round_timer: Optional[Timer] = None
+        self._settle_timer: Optional[Timer] = None
+        self._settle_done = False
         self._join_timer: Optional[Timer] = None
         self._joins_heard: Dict[int, float] = {}
         self._bootstrap_deadline: Optional[float] = None
@@ -115,7 +123,8 @@ class SiteViewAgent:
 
     def stop(self) -> None:
         self._stopped = True
-        for timer in (self._round_timer, self._join_timer, self._probe_timer):
+        for timer in (self._round_timer, self._settle_timer,
+                      self._join_timer, self._probe_timer):
             if timer is not None:
                 timer.cancel()
 
@@ -253,6 +262,14 @@ class SiteViewAgent:
             return
         if not self.is_coordinator() or self.view is None:
             return
+        if self.config.suspicion_settle > 0 and not self._settle_done:
+            # Let near-simultaneous suspicions and joins accumulate:
+            # they merge into one proposed view.
+            if self._settle_timer is None:
+                self._settle_timer = self.sim.call_after(
+                    self.config.suspicion_settle, self._settle_expired)
+            return
+        self._settle_done = False
         removals = set(self._pending_removals)
         joins = {
             (site, inc) for site, inc in self._pending_joins
@@ -289,6 +306,13 @@ class SiteViewAgent:
         self._round_timer = self.sim.call_after(
             self.config.ack_timeout, self._round_timed_out)
         self._check_round_complete()
+
+    def _settle_expired(self) -> None:
+        self._settle_timer = None
+        self._settle_done = True
+        if len(self._pending_removals) > 1:
+            self.sim.trace.bump("sv.batched_removals")
+        self._maybe_start_round()
 
     def _round_timed_out(self) -> None:
         if self._round is None:

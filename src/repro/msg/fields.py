@@ -220,6 +220,34 @@ def diff_have_vector(prev: "dict[int, int]",
             if top > prev.get(site, 0)}
 
 
+def exact_diff_have_vector(base: "dict[int, int]",
+                           cur: "dict[int, int]") -> "dict[int, int]":
+    """Entries of ``cur`` that *differ* from ``base`` — in either
+    direction.
+
+    Unlike :func:`diff_have_vector` (monotone piggyback deltas, where a
+    subset is always safe), this diff supports exact reconstruction:
+    ``base`` overridden by the returned entries equals ``cur`` (entries
+    at 0 mark origins present in ``base`` but absent from ``cur``).
+    Used by fast-flush reports, where a participant's have-vector may
+    also be *behind* the coordinator's announced base union.
+    """
+    out = {}
+    for origin in set(base) | set(cur):
+        mine = cur.get(origin, 0)
+        if mine != base.get(origin, 0):
+            out[origin] = mine
+    return out
+
+
+def apply_have_diff(base: "dict[int, int]",
+                    diff: "dict[int, int]") -> "dict[int, int]":
+    """Inverse of :func:`exact_diff_have_vector`: reconstruct ``cur``."""
+    out = dict(base)
+    out.update(diff)
+    return {origin: top for origin, top in out.items() if top > 0}
+
+
 def decode_have_vector(data: bytes) -> "dict[int, int]":
     """Inverse of :func:`encode_have_vector`."""
     count, offset = decode_uvarint(data, 0)

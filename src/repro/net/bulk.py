@@ -56,9 +56,26 @@ class BulkChannel:
         rejects with :class:`SiteDown` if either endpoint is detached when
         the stream would finish (TCP reset).
         """
+        return self._ship(src_site, dst_site, data, src_cpu, dst_cpu,
+                          self.config.setup_latency)
+
+    def stream(self, src_site: int, dst_site: int,
+               src_cpu: Cpu, dst_cpu: Cpu) -> "BulkStream":
+        """Open a persistent connection for chunked transfers.
+
+        A :class:`BulkStream` pays connection setup once; each chunk
+        then costs only its bandwidth share and per-byte CPU.  Used by
+        the streaming join state transfer, where one snapshot travels
+        as many small sends so neither endpoint's CPU is occupied by a
+        snapshot-sized block.
+        """
+        return BulkStream(self, src_site, dst_site, src_cpu, dst_cpu)
+
+    def _ship(self, src_site: int, dst_site: int, data: bytes,
+              src_cpu: Cpu, dst_cpu: Cpu, setup: float) -> Promise:
         promise = Promise(label=f"bulk:{src_site}->{dst_site}")
         nbytes = len(data)
-        wire_time = self.config.setup_latency + nbytes / self.config.bandwidth
+        wire_time = setup + nbytes / self.config.bandwidth
         cpu_cost = self.config.cpu_per_byte * nbytes
         self.sim.trace.bump("bulk.transfers")
         self.sim.trace.bump("bulk.bytes", nbytes)
@@ -73,3 +90,32 @@ class BulkChannel:
         # Sender pays its copy cost, then the stream occupies the wire.
         src_cpu.submit(cpu_cost, self.sim.call_after, wire_time, finish)
         return promise
+
+
+class BulkStream:
+    """One logical TCP connection; sequential chunk sends.
+
+    The first :meth:`send` pays connection establishment; subsequent
+    chunks ride the open connection.  Callers chain sends (next chunk
+    on the previous promise) so chunk order is the stream order.
+    """
+
+    __slots__ = ("channel", "src_site", "dst_site", "src_cpu", "dst_cpu",
+                 "_established")
+
+    def __init__(self, channel: BulkChannel, src_site: int, dst_site: int,
+                 src_cpu: Cpu, dst_cpu: Cpu):
+        self.channel = channel
+        self.src_site = src_site
+        self.dst_site = dst_site
+        self.src_cpu = src_cpu
+        self.dst_cpu = dst_cpu
+        self._established = False
+
+    def send(self, data: bytes) -> Promise:
+        setup = 0.0 if self._established \
+            else self.channel.config.setup_latency
+        self._established = True
+        self.channel.sim.trace.bump("bulk.stream_chunks")
+        return self.channel._ship(self.src_site, self.dst_site, data,
+                                  self.src_cpu, self.dst_cpu, setup)

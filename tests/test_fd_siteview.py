@@ -122,6 +122,31 @@ class TestRemoval:
         # One batched change, not two: view id went 1 -> 2 (or at most 3).
         assert agents[0].view.view_id <= 3
 
+    def test_staggered_suspicions_coalesce_within_settle(self):
+        """Correlated deaths arriving a few ms apart merge into ONE
+        proposed view (the settle window), not serial view changes."""
+        sim = Simulator()
+        bus, agents, views, _ = make_agents(sim, n=4)
+        genesis_all(agents)
+        agents[0].suspect(2)
+        sim.call_after(0.02, agents[0].suspect, 3)  # inside the window
+        sim.run(until=5.0)
+        assert agents[0].view.sites() == (0, 1)
+        assert agents[0].view.view_id == 2  # exactly one view change
+        assert sim.trace.value("sv.batched_removals") >= 1
+
+    def test_settle_zero_restores_immediate_rounds(self):
+        sim = Simulator()
+        config = SiteViewConfig(suspicion_settle=0.0)
+        bus, agents, views, _ = make_agents(sim, n=4, config=config)
+        genesis_all(agents)
+        agents[0].suspect(2)
+        sim.call_after(0.02, agents[0].suspect, 3)
+        sim.run(until=5.0)
+        # Two serial view changes (the original behavior).
+        assert agents[0].view.sites() == (0, 1)
+        assert agents[0].view.view_id == 3
+
 
 class TestQuorum:
     def test_minority_stalls_instead_of_forming_view(self):
