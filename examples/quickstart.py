@@ -34,6 +34,18 @@ def main() -> None:
     # transfer — ~4x lower unavailability per view change; fast_flush=
     # False reproduces the paper's 4-phase flush wire protocol exactly
     # (see BENCH_viewchange.json).
+    # Past ~32 sites, switch dissemination to the spanning tree:
+    #   IsisCluster(n_sites=64, seed=7,
+    #               isis_config=IsisConfig(dissemination="tree",
+    #                                      tree_fanout=8,
+    #                                      abcast_mode="sequencer"))
+    # relays multicasts, sequencer stamps and stability traffic along a
+    # deterministic k-ary tree of the view instead of O(n) sends per
+    # site — peak per-site wire load is bounded by the fanout, and
+    # stability aggregates up the tree (~3x lower msgs/site/multicast
+    # and ~20x lower stability traffic at 64 sites; dissemination=
+    # "flat", the default, keeps the paper's point-to-point fan-out —
+    # see BENCH_scale.json).
     system = IsisCluster(n_sites=3, seed=7)
 
     # --- one member process per site -----------------------------------

@@ -31,6 +31,14 @@ flush protocol's cut machinery (reports, union, ``force_order``) works
 identically for both modes: survivors union the stamped prefix and
 order any still-unstamped messages after it with the deterministic
 :data:`UNSTAMPED_BASE` priorities.
+
+How a stamp message reaches the members is the dissemination stage's
+concern, not this module's: with ``IsisConfig.dissemination = "tree"``
+the token's ``g.abs`` broadcasts relay down the view's spanning tree
+(O(fanout) sends at the token instead of O(n)), falling back to flat
+fan-out while the group is wedged so stamps never trail flush traffic.
+Stamp *semantics* — dense per-view numbering, contiguous-prefix
+delivery, the wedge rules — are identical in both modes.
 """
 
 from __future__ import annotations

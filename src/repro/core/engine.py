@@ -44,8 +44,14 @@ optional piggybacked have-vector on data and ack envelopes):
 ``g.fl.data``           holder→needy: the messages themselves
 ``g.fl.filled``         needy→coordinator: I hold the union now
 ``g.fl.commit``         the cut order + the event (view / payload)
+``g.fl.okb``            tree mode: pre-reports aggregated up the spanning
+                        tree (``root``, ``reports=[[site, bytes], ...]``)
 ``g.stab.q/a/trim``     fallback stability round; unsolicited ``g.stab.a``
                         announcements push reception state under traffic
+``g.tr``                tree mode: relayed wrapper around a data envelope,
+                        batch, or stamp note (``root``, ``tid``, ``inner``)
+``g.stab.up/dn``        tree mode: aggregated subtree stability report /
+                        the root's stable cut relayed back down
 ======================= ======================================================
 """
 
@@ -53,7 +59,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
-from ..errors import GroupError
+from ..errors import CodecError, GroupError
 from ..msg.address import Address
 from ..msg.fields import (
     apply_have_diff,
@@ -83,6 +89,8 @@ class GroupEngine:
         self.sim = kernel.sim
         self.gid = gid
         self.name = name
+        #: Canonical key for the kernel's shard/dirty-set bookkeeping.
+        self.shard_key = gid.process()
         self.site_id = kernel.site_id
         self.view: Optional[View] = None
         self.installed = False
@@ -114,6 +122,10 @@ class GroupEngine:
         #: target view -> site -> (have, ab_pending, ab_delivered).
         self._pre_reports: Dict[int, Dict[int, Tuple]] = {}
         self._grace_timer: Optional[Timer] = None
+        #: Tree mode: pre-reports riding up the tree, coalescing here.
+        #: root (coordinator site) -> [[reporter site, encoded report]].
+        self._okb_buf: Dict[int, List[List]] = {}
+        self._okb_timer: Optional[Timer] = None
         #: ABCAST finals this site has delivered (ref -> prio), per view.
         self._delivered_finals: Dict[Tuple[int, int], Tuple[int, int]] = {}
         #: Highest final priority delivered in this view (monotone:
@@ -250,6 +262,8 @@ class GroupEngine:
             self._on_flush_filled(src_site, msg)
         elif proto == "g.fl.commit":
             self._on_flush_commit(msg)
+        elif proto == "g.fl.okb":
+            self._on_flush_okb(src_site, msg)
         else:
             self.sim.trace.bump("engine.unknown_proto")
 
@@ -260,6 +274,9 @@ class GroupEngine:
         self._delivered_finals[ref] = final
         if final > self._delivery_floor:
             self._delivery_floor = final
+            # An unannounced floor is stability work: keep the group in
+            # the kernel's dirty set until peers learn it.
+            self.kernel.note_group_dirty(self.shard_key)
 
     @property
     def delivery_floor(self) -> Tuple[int, int]:
@@ -285,16 +302,25 @@ class GroupEngine:
         """
         if not self.kernel.config.fast_flush or self.view is None:
             return 0
-        floors = self.pipeline.stability.peer_delivery_floors()
-        floor = self._delivery_floor
-        for site in self.view.member_sites():
-            if site == self.site_id:
-                continue
-            peer = floors.get(site)
-            if peer is None:
-                return 0  # a member's delivery progress is unknown
-            if peer < floor:
-                floor = peer
+        if self.kernel.config.dissemination == "tree":
+            # Tree mode carries no per-peer floors; the aggregated
+            # group-wide minimum from the last ``g.stab.dn`` wave plays
+            # the same role (it already includes our own floor).
+            known = self.pipeline.stability.tree_floor()
+            if known is None:
+                return 0
+            floor = min(self._delivery_floor, known)
+        else:
+            floors = self.pipeline.stability.peer_delivery_floors()
+            floor = self._delivery_floor
+            for site in self.view.member_sites():
+                if site == self.site_id:
+                    continue
+                peer = floors.get(site)
+                if peer is None:
+                    return 0  # a member's delivery progress is unknown
+                if peer < floor:
+                    floor = peer
         if floor <= self._pruned_floor:
             return 0
         self._pruned_floor = floor
@@ -452,6 +478,7 @@ class GroupEngine:
 
     def _send_flush_msg(self, site: int, msg: Message) -> None:
         self.sim.trace.bump("flush.wire_msgs")
+        self.sim.trace.bump("flush.wire_bytes", msg.size_bytes)
         self.kernel.send_to_site(site, msg)
 
     def restart_flush(self, extra_removals: Tuple[Address, ...]) -> None:
@@ -677,8 +704,70 @@ class GroupEngine:
             report["have"] = _encode_pairs(have)
         if to_site == self.site_id:
             self._on_flush_ok(self.site_id, report)
+        elif pre and self.kernel.config.dissemination == "tree":
+            # Pre-reports aggregate up the coordinator-rooted tree so
+            # the coordinator's fan-in is O(fanout) batches, not n-1
+            # individual reports.  Solicited reports (a begin response)
+            # always go direct: the begin round IS the fallback when
+            # relayed pre-reports are lost, so it must not depend on
+            # relays itself.
+            self._okb_enqueue(to_site, self.site_id, report.encode())
         else:
             self._send_flush_msg(to_site, report)
+
+    # -- tree-aggregated pre-reports (dissemination == "tree") -------------
+    def _okb_enqueue(self, root: int, src_site: int, raw) -> None:
+        self._okb_buf.setdefault(root, []).append([src_site, raw])
+        if self._okb_timer is None:
+            self._okb_timer = self.sim.call_after(
+                self.kernel.config.flush_okb_window, self._okb_flush)
+
+    def _okb_flush(self) -> None:
+        """Forward coalesced pre-reports one hop rootward."""
+        self._okb_timer = None
+        buf, self._okb_buf = self._okb_buf, {}
+        if not buf or not self.kernel.alive:
+            return
+        tree = self.pipeline.dissemination.tree()
+        for root, reports in buf.items():
+            parent = None
+            if tree is not None and root in tree and self.site_id in tree:
+                parent = tree.parent(root, self.site_id)
+            if parent is None:
+                # We are the root ourselves (coordinator duties moved to
+                # us mid-wave) or the tree is unknown: finish direct.
+                for src, raw in reports:
+                    try:
+                        report = Message.decode(bytes(raw))
+                    except CodecError:
+                        continue
+                    if root == self.site_id:
+                        self._on_flush_ok(src, report)
+                    else:
+                        self._send_flush_msg(root, report)
+                continue
+            batch = Message(_proto="g.fl.okb", gid=self.gid, root=root,
+                            reports=reports)
+            self.sim.trace.bump("flush.okb_sent")
+            self._send_flush_msg(parent, batch)
+
+    def _on_flush_okb(self, src_site: int, msg: Message) -> None:
+        """Aggregated pre-reports arrived: unpack at the root, else relay."""
+        root = msg["root"]
+        if root == self.site_id:
+            for src, raw in msg["reports"]:
+                try:
+                    report = Message.decode(bytes(raw))
+                except CodecError:
+                    self.sim.trace.bump("flush.okb_bad_report")
+                    continue
+                self._on_flush_ok(src, report)
+            return
+        # Interior relay: coalesce with whatever we are already holding
+        # (our own pre-report typically rides the same batch upward).
+        self.sim.trace.bump("flush.okb_relayed")
+        for src, raw in msg["reports"]:
+            self._okb_enqueue(root, src, raw)
 
     def _on_flush_expect(self, msg: Message) -> None:
         fid: FlushId = (msg["fid"][0], msg["fid"][1], msg["fid"][2])
@@ -809,6 +898,12 @@ class GroupEngine:
         self._delivery_floor = (0, 0)
         self._pruned_floor = (0, 0)
         self._pre_reported = None
+        # In-flight aggregated pre-reports target the view just
+        # committed; the commit supersedes them.
+        self._okb_buf.clear()
+        if self._okb_timer is not None:
+            self._okb_timer.cancel()
+            self._okb_timer = None
         if self._pre_reports:
             view_id = self.view.view_id if self.view is not None else 0
             self._pre_reports = {
@@ -899,6 +994,22 @@ class GroupEngine:
     # Stability rounds (buffer garbage collection)
     # ------------------------------------------------------------------
     def start_stability_round(self) -> None:
-        """Fallback GC round; a no-op while piggybacked stability trims."""
+        """Fallback GC round; a no-op while piggybacked stability trims.
+
+        Tree mode replaces both the query round and the floor
+        announcements with an aggregation wave up the spanning tree.
+        """
+        if self.kernel.config.dissemination == "tree":
+            self.pipeline.stability.tree_push()
+            return
         self.pipeline.stability.start_round()
         self.pipeline.stability.maybe_announce_floors()
+
+    def stability_pending(self) -> bool:
+        """Sharded tick: does this group still need periodic attention?
+
+        ``False`` drops the group out of the kernel's dirty set; any
+        later buffered message, floor advance, or child report re-arms
+        it via :meth:`ProtocolsProcess.note_group_dirty`.
+        """
+        return self.pipeline.stability.pending_work()

@@ -20,6 +20,16 @@ brought to a consistent cut:
 Failures *during* the flush restart it: a new coordinator (the oldest
 survivor) raises the flush id and reruns; all steps are idempotent.
 
+Two config-gated report paths feed the same ``offer_report`` entry:
+``fast_flush`` replaces step 1-2 on a site death with unsolicited
+*pre-reports* pushed to the predicted coordinator, and with
+``dissemination = "tree"`` those pre-reports additionally coalesce up
+the coordinator-rooted spanning tree as ``g.fl.okb`` bundles (interior
+sites buffer for ``flush_okb_window`` and forward one message rootward)
+so the coordinator's fan-in stops being O(n) frames.  Solicited reports
+always travel direct — the explicit begin round stays a relay-
+independent fallback.  The coordinator below is agnostic to all of it.
+
 This module holds the coordinator's bookkeeping; the per-site participant
 behaviour lives in :mod:`repro.core.engine`.
 """

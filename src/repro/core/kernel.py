@@ -41,6 +41,13 @@ from .engine import ABCAST, CBCAST, GroupEngine
 from .flush import FlushReason
 from .namespace import Namespace
 from .rpc import ALL, SessionTable
+from .shards import (
+    GroupShard,
+    ShardedWaitIndex,
+    WaiterKey,
+    WaitIndex,
+    shard_of,
+)
 from .view import View
 
 #: Entry number reserved for pg_kill (the "send UNIX signal" of Table I).
@@ -140,135 +147,35 @@ class IsisConfig:
     #: snapshots above ``bulk_threshold`` ship as a sequence of
     #: ``st.chunk`` bulk transfers of this size instead of one blob.
     transfer_chunk_bytes: int = 65536
+    #: Dissemination topology.  ``"flat"`` (default) fans every multicast
+    #: out to all member sites directly — the original wire behavior and
+    #: the differential oracle.  ``"tree"`` relays envelopes, sequencer
+    #: stamps and stability traffic along a deterministic k-ary spanning
+    #: tree computed from the view (each origin roots its own rotation of
+    #: the same tree), cutting per-site wire cost from O(n) to O(fanout)
+    #: per multicast; stability likewise aggregates up the coordinator's
+    #: tree instead of every site telling every other site.  Flushes
+    #: always fall back to flat sends (commits must not depend on
+    #: relays), so virtual synchrony guarantees are unchanged — a dead
+    #: relay's subtree hole is repaired by the very view-change flush
+    #: that removes it.  Cluster-wide setting: all kernels must agree.
+    dissemination: str = "flat"
+    #: Branching factor of the dissemination/aggregation spanning tree.
+    tree_fanout: int = 4
+    #: Tree mode: how long an interior site coalesces flush pre-reports
+    #: before forwarding them one hop rootward as a ``g.fl.okb`` batch.
+    #: A few of these fit well inside ``flush_prereport_grace``.
+    flush_okb_window: float = 0.06
+    #: Number of shards the kernel's group table (and WaitIndex) is
+    #: partitioned into.  Periodic work (stability ticks) walks only the
+    #: dirty groups of each shard, so thousands of idle groups cost
+    #: nothing per tick.  Purely kernel-local: no wire impact.
+    kernel_shards: int = 8
 
 
-#: A blocked CBCAST is identified kernel-wide by the group it is pending
-#: in plus its (sender, seq) key within that group's causal receiver.
-WaiterKey = Tuple[Address, Tuple[Address, int]]
-
-
-class WaitIndex:
-    """Cross-group causal wait thresholds, kernel-wide.
-
-    A CBCAST whose causal context is unsatisfied registers here against
-    the *first* threshold its context fails: either a delivery counter
-    ``(gid, member, needed_seq)`` — woken the moment that group's
-    delivered vector reaches ``needed_seq`` for ``member`` — or a view
-    threshold on ``gid`` — woken when that group installs any newer view
-    (vectors reset per view, so any view event can only satisfy waits).
-    Each waiter holds at most one slot; on wake it re-evaluates its full
-    context and either delivers or re-registers on the next failing
-    threshold.  This replaces the legacy broadcast re-scan of every
-    group's pending buffer on every delivery.
-    """
-
-    __slots__ = ("_counter_waits", "_view_waits", "_slots", "_by_engine",
-                 "peak_size")
-
-    def __init__(self) -> None:
-        #: gid -> (member, needed_seq) -> ordered waiters (dict-as-set).
-        self._counter_waits: Dict[
-            Address, Dict[Tuple[Address, int], Dict[WaiterKey, None]]] = {}
-        #: gid -> ordered waiters blocked on a future view of gid.
-        self._view_waits: Dict[Address, Dict[WaiterKey, None]] = {}
-        #: waiter -> (gid, bucket key or None-for-view) reverse map.
-        self._slots: Dict[WaiterKey, Tuple[Address,
-                                           Optional[Tuple[Address, int]]]] = {}
-        #: waiters registered by each engine (purged at its view changes).
-        self._by_engine: Dict[Address, Set[WaiterKey]] = {}
-        self.peak_size = 0
-
-    def __len__(self) -> int:
-        return len(self._slots)
-
-    def register_counter(self, gid: Address, member: Address, needed: int,
-                         waiter: WaiterKey) -> None:
-        """Wake ``waiter`` when gid's delivered[member] reaches ``needed``."""
-        self.remove(waiter)
-        bucket_key = (member.process(), needed)
-        self._counter_waits.setdefault(gid, {}).setdefault(
-            bucket_key, {})[waiter] = None
-        self._slots[waiter] = (gid, bucket_key)
-        self._by_engine.setdefault(waiter[0], set()).add(waiter)
-        if len(self._slots) > self.peak_size:
-            self.peak_size = len(self._slots)
-
-    def register_view(self, gid: Address, waiter: WaiterKey) -> None:
-        """Wake ``waiter`` when ``gid`` installs a newer view."""
-        self.remove(waiter)
-        self._view_waits.setdefault(gid, {})[waiter] = None
-        self._slots[waiter] = (gid, None)
-        self._by_engine.setdefault(waiter[0], set()).add(waiter)
-        if len(self._slots) > self.peak_size:
-            self.peak_size = len(self._slots)
-
-    def remove(self, waiter: WaiterKey) -> None:
-        """Drop a waiter's slot (delivered, re-registering, or discarded)."""
-        slot = self._slots.get(waiter)
-        if slot is None:
-            return
-        gid, bucket_key = slot
-        if bucket_key is None:
-            bucket = self._view_waits.get(gid)
-            if bucket is not None:
-                bucket.pop(waiter, None)
-                if not bucket:
-                    del self._view_waits[gid]
-        else:
-            buckets = self._counter_waits.get(gid)
-            if buckets is not None:
-                bucket = buckets.get(bucket_key)
-                if bucket is not None:
-                    bucket.pop(waiter, None)
-                    if not bucket:
-                        del buckets[bucket_key]
-                if not buckets:
-                    del self._counter_waits[gid]
-        self._discard_slot(waiter)
-
-    def on_advance(self, gid: Address, member: Address,
-                   seq: int) -> List[WaiterKey]:
-        """Group ``gid`` delivered ``member``'s message ``seq``."""
-        buckets = self._counter_waits.get(gid)
-        if buckets is None:
-            return []
-        bucket = buckets.pop((member.process(), seq), None)
-        if bucket is None:
-            return []
-        if not buckets:
-            del self._counter_waits[gid]
-        woken = list(bucket)
-        for waiter in woken:
-            self._discard_slot(waiter)
-        return woken
-
-    def on_view_event(self, gid: Address) -> List[WaiterKey]:
-        """Group ``gid`` installed a new view (or was retired)."""
-        woken: List[WaiterKey] = []
-        buckets = self._counter_waits.pop(gid, None)
-        if buckets is not None:
-            for bucket in buckets.values():
-                woken.extend(bucket)
-        view_bucket = self._view_waits.pop(gid, None)
-        if view_bucket is not None:
-            woken.extend(view_bucket)
-        for waiter in woken:
-            self._discard_slot(waiter)
-        return woken
-
-    def purge_engine(self, engine_gid: Address) -> None:
-        """An engine's pending buffer reset: drop its registrations."""
-        for waiter in list(self._by_engine.get(engine_gid, ())):
-            self.remove(waiter)
-
-    def _discard_slot(self, waiter: WaiterKey) -> None:
-        """Bookkeeping removal after a bucket was already popped."""
-        self._slots.pop(waiter, None)
-        engine_waiters = self._by_engine.get(waiter[0])
-        if engine_waiters is not None:
-            engine_waiters.discard(waiter)
-            if not engine_waiters:
-                del self._by_engine[waiter[0]]
+# WaitIndex / WaiterKey live in :mod:`repro.core.shards` (the sharded
+# kernel-state layer) and are re-exported here: the index remains a
+# kernel-level concept and tests/tools import it from this module.
 
 
 class _JoinState:
@@ -329,8 +236,15 @@ class ProtocolsProcess:
         self.sessions = SessionTable(self.sim, resolve_delay=intra)
         # Groups.
         self.engines: Dict[Address, GroupEngine] = {}
-        #: Cross-group causal wait thresholds (indexed delivery).
-        self.wait_index = WaitIndex()
+        #: Sharded group-table bookkeeping: occupancy + stability dirty
+        #: sets, so periodic scans touch only groups needing attention.
+        self.shards: List[GroupShard] = [
+            GroupShard(i) for i in range(max(1, self.config.kernel_shards))
+        ]
+        self._stab_idle_skipped = 0
+        #: Cross-group causal wait thresholds (indexed delivery),
+        #: partitioned by the watched group's shard.
+        self.wait_index = ShardedWaitIndex(len(self.shards))
         #: Groups owed a candidate drain (a wake marked candidates there).
         self._causal_wakes: Set[Address] = set()
         #: gid -> creation rank; recheck passes visit woken groups in
@@ -563,6 +477,20 @@ class ProtocolsProcess:
         if key not in self._engine_order:
             self._engine_order[key] = self._next_engine_rank
             self._next_engine_rank += 1
+        self._shard(key).add(key)
+
+    def _shard(self, key: Address) -> GroupShard:
+        return self.shards[shard_of(key, len(self.shards))]
+
+    def note_group_dirty(self, key: Address) -> None:
+        """Mark a group as needing the next stability tick.
+
+        Called when a group buffers a message, advances its delivery
+        floor, or receives tree-aggregation traffic — anything the
+        periodic stability pass must look at.  Groups never marked are
+        skipped entirely (``stab.idle_skipped``).
+        """
+        self._shard(key).stab_dirty.add(key)
 
     # ------------------------------------------------------------------
     # Services used by GroupEngine
@@ -763,6 +691,7 @@ class ProtocolsProcess:
         self.engines.pop(key, None)
         self._causal_wakes.discard(key)
         self._engine_order.pop(key, None)
+        self._shard(key).remove(key)
         self._retired_peak_pending = max(self._retired_peak_pending,
                                          engine.causal.peak_pending)
         self._retired_flush["wedged_seconds"] += engine.wedged_seconds
@@ -1523,7 +1452,21 @@ class ProtocolsProcess:
             "state_transfer.stream_bytes": self._xfer_stream_bytes,
             "state_transfer.streams_aborted": self._xfer_streams_aborted,
             "state_transfer.streams_active": len(self._out_streams),
+            "kernel.shards": len(self.shards),
+            "kernel.peak_groups_per_shard": max(
+                shard.peak_groups for shard in self.shards),
+            "stab.idle_skipped": self._stab_idle_skipped,
+            "tree.fanout": self.config.tree_fanout
+            if self.config.dissemination == "tree" else 0,
+            "tree.depth": 0,
+            "tree.relayed": 0,
+            "tree.dup_drops": 0,
+            "tree.flat_fallbacks": 0,
+            "stab.up_sent": 0,
+            "stab.dn_sent": 0,
         }
+        for key, value in self.heartbeat.stats().items():
+            out[key] = value
         for engine in self.engines.values():
             wedged = engine.wedged_seconds
             if engine.wedged and engine._wedged_at is not None:
@@ -1551,6 +1494,14 @@ class ProtocolsProcess:
             out["abcast.finals"] += ordering.finals_sent
             out["abcast.seq_stamps"] += ordering.stamps_sent
             out["abcast.token_handoffs"] += ordering.token_handoffs
+            out["tree.depth"] = max(out["tree.depth"],
+                                    dissemination.tree_depth())
+            out["tree.relayed"] += dissemination.tree_relayed
+            out["tree.dup_drops"] += dissemination.tree_dup_drops
+            out["tree.flat_fallbacks"] += dissemination.tree_flat_fallbacks
+            stability = engine.pipeline.stability
+            out["stab.up_sent"] += stability.up_sent
+            out["stab.dn_sent"] += stability.dn_sent
         if self.site.transport is not None:
             for key, value in self.site.transport.stats().items():
                 out[f"transport.{key}"] = value
@@ -1566,6 +1517,26 @@ class ProtocolsProcess:
     def _stability_tick(self) -> None:
         if not self.alive:
             return
-        for engine in list(self.engines.values()):
-            engine.start_stability_round()
+        # Walk only the dirty groups of each shard: a group is marked
+        # dirty when it buffers a message, advances its delivery floor,
+        # or receives aggregation traffic, and re-marks itself below for
+        # as long as it still holds unstable state.  Idle groups cost
+        # nothing per tick, whatever their number.
+        visited = 0
+        for shard in self.shards:
+            if not shard.stab_dirty:
+                continue
+            dirty, shard.stab_dirty = shard.stab_dirty, set()
+            for key in dirty:
+                engine = self.engines.get(key)
+                if engine is None:
+                    continue
+                visited += 1
+                engine.start_stability_round()
+                if engine.stability_pending():
+                    shard.stab_dirty.add(key)
+        skipped = len(self.engines) - visited
+        if skipped > 0:
+            self._stab_idle_skipped += skipped
+            self.sim.trace.bump("stab.idle_skipped", skipped)
         self._schedule_stability()

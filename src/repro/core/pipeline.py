@@ -32,7 +32,7 @@ interfaces without touching the engine.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from ..errors import CodecError, GroupError, SiteDown
 from ..msg.address import Address
@@ -52,6 +52,7 @@ from .abcast import (
     TotalOrderSender,
 )
 from .cbcast import CausalReceiver
+from .tree import SpanningTree, min_merge_have_vectors
 from .vectorclock import encode_context, encode_context_compact
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -98,6 +99,11 @@ class DisseminationStage:
         self._last_stab: Dict[int, Tuple[int, Dict[int, int]]] = {}
         self.batches_sent = 0
         self.envelopes_batched = 0
+        #: Tree-mode counters; the flat stage keeps them at zero so the
+        #: kernel's stats scan is mode-agnostic.
+        self.tree_relayed = 0
+        self.tree_dup_drops = 0
+        self.tree_flat_fallbacks = 0
 
     def next_gseq(self) -> int:
         self._send_seq += 1
@@ -213,6 +219,301 @@ class DisseminationStage:
         # and stab delta chains restart (have-vectors are per-view).
         self._send_seq = 0
         self._last_stab.clear()
+
+    # -- tree hooks (no-ops for the flat stage) ----------------------------
+    def tree_depth(self) -> int:
+        return 0
+
+    def tree(self) -> Optional[SpanningTree]:
+        return None
+
+    def broadcast_note(self, note: Message) -> int:
+        """Send a control note to every remote member site.
+
+        Returns the number of wire sends (the tree stage overrides this
+        to relay the note instead, so callers count actual sends).
+        """
+        view = self.engine.view
+        if view is None:
+            return 0
+        sent = 0
+        for site in view.member_sites():
+            if site != self.engine.site_id:
+                self.kernel.send_to_site(site, note)
+                sent += 1
+        return sent
+
+    def on_relay(self, src_site: int, msg: Message) -> None:
+        """A ``g.tr`` wrapper reached a flat-mode stage.
+
+        Dissemination mode is a cluster-wide configuration, so this only
+        happens under a misconfiguration; unwrap and ingest the payload
+        without forwarding so no data is lost.
+        """
+        try:
+            inner = Message.decode(bytes(msg["inner"]))
+        except (CodecError, KeyError):
+            self.engine.sim.trace.bump("tree.bad_inner")
+            return
+        self.pipeline.receive(msg["root"], inner["_proto"], inner)
+
+    def drain_pre_view_wrappers(self) -> None:
+        """Replay tree wrappers held for a view now installed (no-op)."""
+
+
+#: Wire protocol tag for a tree-relayed wrapper around a pipeline message.
+TREE_PROTO = "g.tr"
+
+
+class TreeDissemination(DisseminationStage):
+    """Hierarchical fan-out over per-origin rotated spanning trees.
+
+    ``IsisConfig.dissemination = "tree"``: instead of the origin paying
+    O(n) wire messages per multicast, it wraps the envelope (or batch,
+    or token stamp note) in a ``g.tr`` wrapper and sends it only to its
+    ``tree_fanout`` children in the spanning tree rooted at itself;
+    interior sites relay the wrapper onward to *their* children in the
+    same origin-rooted tree and ingest the payload locally.  Every site
+    therefore sends at most ``fanout`` copies per multicast regardless
+    of group size, at the price of ``depth`` extra hops of latency.
+
+    Wrappers are deduplicated per ``(view, root, tid)`` — retransmits
+    and rotation overlaps drop at the first repeated hop — and wrappers
+    for a view not yet installed are buffered and replayed at install
+    time, exactly like pre-view data envelopes (a relay cannot forward
+    along a tree it cannot compute yet).
+
+    Fallbacks keep the flush protocol sound: a *wedged* origin fans out
+    flat (its envelope's fate must not depend on relays that may be
+    wedged or reporting), and token stamps flushed at wedge time go flat
+    so they stay ahead of the flush begin on the same FIFO channels.
+    Relays keep forwarding while wedged — forwarding is stateless and
+    the payload is view-gated at every hop.  A relay that dies loses its
+    subtree's copies only until the failure detector fires: the view
+    change's union cut and refill repair exactly that hole.
+    """
+
+    #: Pseudo-destination key for the single tree batch buffer.
+    _TREE_DST = -1
+
+    def __init__(self, engine: "GroupEngine", pipeline: "DeliveryPipeline"):
+        super().__init__(engine, pipeline)
+        self._tree: Optional[SpanningTree] = None
+        self._tree_view = -1
+        #: Wrapper id for trees rooted here (per view; dedup key).
+        self._tid = 0
+        #: root site -> wrapper ids already seen (current view only).
+        self._seen: Dict[int, Set[int]] = {}
+        self._seen_view = -1
+        #: Wrappers for views we have not installed yet.
+        self._pre_view_wrappers: List[Tuple[int, Message]] = []
+
+    # -- the tree ----------------------------------------------------------
+    def tree(self) -> Optional[SpanningTree]:
+        """The spanning tree of the current view (rebuilt per view)."""
+        view = self.engine.view
+        if view is None:
+            return None
+        if self._tree is None or self._tree_view != view.view_id:
+            self._tree = SpanningTree(view.member_sites(),
+                                      self.kernel.config.tree_fanout)
+            self._tree_view = view.view_id
+        return self._tree
+
+    def tree_depth(self) -> int:
+        tree = self.tree() if self.engine.view is not None else None
+        return 0 if tree is None else tree.depth()
+
+    def _wrap(self, inner: Message) -> Message:
+        self._tid += 1
+        return Message(_proto=TREE_PROTO, gid=self.engine.gid,
+                       view=self.engine.view.view_id,
+                       root=self.engine.site_id, tid=self._tid,
+                       inner=inner.encode())
+
+    # -- send path ---------------------------------------------------------
+    def fan_out(self, env: Message, sender_key: Optional[Address]) -> None:
+        view = self.engine.view
+        assert view is not None
+        if self.engine.wedged:
+            # Wedge-safe fallback: mid-flush, relays may be wedged or
+            # already reporting; flat fan-out keeps the envelope's fate
+            # in the sender's own hands (and in the flush's union cut).
+            self.tree_flat_fallbacks += 1
+            self.engine.sim.trace.bump("tree.flat_fallbacks")
+            super().fan_out(env, sender_key)
+            return
+        if self.kernel.config.batch_window > 0:
+            promise = self._enqueue_tree(env)
+            if sender_key is not None:
+                self.kernel.note_outstanding(sender_key, promise)
+            return
+        for promise in self._send_down(env):
+            if sender_key is not None:
+                self.kernel.note_outstanding(sender_key, promise)
+
+    def _send_down(self, inner: Message) -> List[Promise]:
+        """Wrap ``inner`` and send it to our children in our own tree."""
+        tree = self.tree()
+        me = self.engine.site_id
+        children = [] if tree is None else tree.children(me, me)
+        if not children:
+            return []
+        wrapped = self._wrap(inner)
+        hw = self.kernel.site.cluster.lan.config.hw_multicast
+        promises = []
+        first = True
+        for site in children:
+            promises.append(self.kernel.send_to_site(
+                site, wrapped, piggyback=hw and not first))
+            first = False
+        return promises
+
+    def _enqueue_tree(self, env: Message) -> Promise:
+        buf = self._buffers.get(self._TREE_DST)
+        if buf is None:
+            buf = _BatchBuffer()
+            self._buffers[self._TREE_DST] = buf
+        promise = Promise(label=f"treebatch:{self.engine.gid}")
+        buf.entries.append((env, promise))
+        buf.bytes += env.size_bytes
+        if buf.bytes >= self.kernel.config.batch_max_bytes:
+            self._flush(self._TREE_DST)
+        elif buf.timer is None:
+            buf.timer = self.engine.sim.call_after(
+                self.kernel.config.batch_window, self._flush, self._TREE_DST)
+        return promise
+
+    def _flush(self, dst_site: int) -> None:
+        if dst_site != self._TREE_DST:
+            super()._flush(dst_site)  # flat-fallback per-peer buffers
+            return
+        buf = self._buffers.pop(self._TREE_DST, None)
+        if buf is None or not buf.entries:
+            return
+        if buf.timer is not None:
+            buf.timer.cancel()
+        if not self.kernel.alive:
+            for _, entry_promise in buf.entries:
+                entry_promise.reject(
+                    SiteDown(f"site {self.engine.site_id} is down"))
+            return
+        envelopes = [env for env, _ in buf.entries]
+        # One batch serves every subtree destination, so no per-peer
+        # delta stab can ride it — tree mode moves stability tracking to
+        # the aggregation channel (``g.stab.up`` / ``g.stab.dn``).
+        batch = pack_batch(self.engine.gid, envelopes, None, None)
+        self.batches_sent += 1
+        self.envelopes_batched += len(envelopes)
+        self.engine.sim.trace.bump("batch.sent")
+        self.engine.sim.trace.bump("batch.envelopes", len(envelopes))
+        if self.engine.wedged:
+            self.tree_flat_fallbacks += 1
+            self.engine.sim.trace.bump("tree.flat_fallbacks")
+            sends = []
+            view = self.engine.view
+            if view is not None:
+                for site in view.member_sites():
+                    if site != self.engine.site_id:
+                        sends.append(self.kernel.send_to_site(site, batch))
+        else:
+            sends = self._send_down(batch)
+        if not sends:
+            for _, entry_promise in buf.entries:
+                entry_promise.resolve(None)
+            return
+        state = {"left": len(sends), "failed": None}
+
+        def settle(p: Promise) -> None:
+            if p.rejected and state["failed"] is None:
+                state["failed"] = p.exception
+            state["left"] -= 1
+            if state["left"] == 0:
+                for _, entry_promise in buf.entries:
+                    if state["failed"] is not None:
+                        entry_promise.reject(state["failed"])
+                    else:
+                        entry_promise.resolve(None)
+
+        for send in sends:
+            send.add_done_callback(settle)
+
+    def broadcast_note(self, note: Message) -> int:
+        """Relay a control note (token stamps) down our own tree."""
+        if self.engine.wedged or self.engine.view is None:
+            # Stamps flushed at wedge time must stay ahead of the flush
+            # begin on the same FIFO channels; an interior relay hop
+            # would let the begin overtake them.
+            self.tree_flat_fallbacks += 1
+            self.engine.sim.trace.bump("tree.flat_fallbacks")
+            return super().broadcast_note(note)
+        return len(self._send_down(note))
+
+    # -- relay path --------------------------------------------------------
+    def on_relay(self, src_site: int, msg: Message) -> None:
+        """A ``g.tr`` wrapper arrived: dedup, forward, ingest."""
+        engine = self.engine
+        view = engine.view
+        view_id = msg["view"]
+        if not engine.installed or view is None or view_id > view.view_id:
+            self._pre_view_wrappers.append((view_id, msg))
+            return
+        if view_id < view.view_id:
+            engine.sim.trace.bump("engine.stale_view_drop")
+            return
+        if self._seen_view != view.view_id:
+            self._seen.clear()
+            self._seen_view = view.view_id
+        root = msg["root"]
+        seen = self._seen.setdefault(root, set())
+        tid = msg["tid"]
+        if tid in seen:
+            self.tree_dup_drops += 1
+            engine.sim.trace.bump("tree.dup_drops")
+            return
+        seen.add(tid)
+        # Forward to our children in the origin-rooted tree *before*
+        # local ingest: the subtree's latency must not queue behind our
+        # own delivery work.  Relaying is unconditional (even wedged) —
+        # the payload is view-gated at every hop.
+        tree = self.tree()
+        me = engine.site_id
+        if tree is not None and root in tree:
+            hw = self.kernel.site.cluster.lan.config.hw_multicast
+            first = True
+            for child in tree.children(root, me):
+                if child == me or child == root:
+                    continue
+                self.tree_relayed += 1
+                engine.sim.trace.bump("tree.relayed")
+                self.kernel.send_to_site(child, msg,
+                                         piggyback=hw and not first)
+                first = False
+        try:
+            inner = Message.decode(bytes(msg["inner"]))
+        except CodecError:
+            engine.sim.trace.bump("tree.bad_inner")
+            return
+        self.pipeline.receive(root, inner["_proto"], inner)
+
+    def drain_pre_view_wrappers(self) -> None:
+        view = self.engine.view
+        if view is None or not self._pre_view_wrappers:
+            return
+        ready = [(v, m) for v, m in self._pre_view_wrappers
+                 if v <= view.view_id]
+        self._pre_view_wrappers = [
+            (v, m) for v, m in self._pre_view_wrappers if v > view.view_id]
+        for _, m in ready:
+            self.on_relay(m["root"], m)
+
+    def on_new_view(self) -> None:
+        super().on_new_view()
+        self._tid = 0
+        self._seen.clear()
+        self._seen_view = -1
+        self._tree = None
+        self._tree_view = -1
 
 
 # ----------------------------------------------------------------------
@@ -536,11 +837,10 @@ class SequencerOrdering:
                        view=view.view_id, stamps=stamps)
         self.pipeline.stability.attach(note)
         engine.sim.trace.bump("abcast.stamped_refs", len(stamps))
-        for site in view.member_sites():
-            if site != engine.site_id:
-                self.stamps_sent += 1
-                engine.sim.trace.bump("abcast.seq_stamps")
-                engine.kernel.send_to_site(site, note)
+        sent = self.pipeline.dissemination.broadcast_note(note)
+        if sent:
+            self.stamps_sent += sent
+            engine.sim.trace.bump("abcast.seq_stamps", sent)
 
     # -- view lifecycle ----------------------------------------------------
     def on_wedge(self) -> None:
@@ -604,11 +904,26 @@ class StabilityStage:
         self._last_advance = float("-inf")
         #: Fallback-round state (coordinator only): site -> have-vector.
         self._round_answers: Optional[Dict[int, Dict[int, int]]] = None
+        #: Tree-aggregated stability (``dissemination == "tree"``).
+        self._tree_mode = self.kernel.config.dissemination == "tree"
+        #: child site -> (subtree min have-vector, sites covered, min floor).
+        self._child_up: Dict[int, Tuple[Dict[int, int], int,
+                                        Tuple[int, int]]] = {}
+        #: Last state pushed to the parent / broadcast down (dedup).
+        self._up_last: Optional[Tuple] = None
+        self._dn_last: Optional[Tuple] = None
+        #: Group-wide min delivery floor per the last full aggregation.
+        self._tree_floor: Optional[Tuple[int, int]] = None
+        self.up_sent = 0
+        self.dn_sent = 0
 
     # -- piggyback: attach -------------------------------------------------
     def attach(self, msg: Message) -> None:
         """Piggyback our have-vector on an outgoing data/ack envelope."""
-        if not self.kernel.config.piggyback_stability:
+        if not self.kernel.config.piggyback_stability or self._tree_mode:
+            # Tree mode: one wire copy serves many destinations, so no
+            # per-peer stab can ride it — stability moves to the O(fanout)
+            # aggregation channel (``g.stab.up`` / ``g.stab.dn``).
             return
         view = self.engine.view
         if view is None:
@@ -717,7 +1032,15 @@ class StabilityStage:
     def note_received(self, count: int = 1) -> None:
         """Count received data; push our have-vector every N messages."""
         every = self.kernel.config.stab_announce_every
-        if not self.kernel.config.piggyback_stability or every <= 0:
+        if every <= 0:
+            return
+        if self._tree_mode:
+            self._recv_since_announce += count
+            if self._recv_since_announce >= every:
+                self._recv_since_announce = 0
+                self.tree_push()
+            return
+        if not self.kernel.config.piggyback_stability:
             return
         self._recv_since_announce += count
         if self._recv_since_announce >= every:
@@ -758,6 +1081,179 @@ class StabilityStage:
             return
         if engine.delivery_floor > self._floor_announced:
             self.announce()
+
+    # -- tree-aggregated stability (dissemination == "tree") ---------------
+    def _stab_root(self) -> Optional[int]:
+        """The aggregation root: the lowest-ranked member's site.
+
+        A pure function of the view (same rule as the sequencer token),
+        so every member agrees without coordination; if the root site
+        dies, the view change rebuilds the tree around the survivor set.
+        """
+        view = self.engine.view
+        if view is None or not view.members:
+            return None
+        return view.members[0].site
+
+    def tree_push(self) -> None:
+        """Aggregate our subtree's state and push it one hop rootward.
+
+        Interior nodes min-merge their own have-vector and delivery
+        floor with the cached reports of their children in the
+        root-rooted tree; the root, once its covered-site count reaches
+        the whole view, broadcasts the stable cut back down the same
+        tree (``g.stab.dn``).  Per-site stability traffic is O(fanout)
+        per aggregation wave regardless of group size — this is what
+        replaces both the per-peer piggybacks and the O(n) fallback
+        round at scale.
+        """
+        engine = self.engine
+        view = engine.view
+        if (not self._tree_mode or view is None or not engine.installed
+                or engine.wedged or not self.kernel.alive):
+            return
+        tree = self.pipeline.dissemination.tree()
+        root = self._stab_root()
+        me = engine.site_id
+        if tree is None or root is None or root not in tree or me not in tree:
+            return
+        vectors = [engine.store.have_vector()]
+        count = 1
+        floor = engine.delivery_floor
+        children = tree.children(root, me)
+        for child in children:
+            snap = self._child_up.get(child)
+            if snap is None:
+                continue
+            vectors.append(snap[0])
+            count += snap[1]
+            if snap[2] < floor:
+                floor = snap[2]
+        agg = min_merge_have_vectors(vectors)
+        if me == root:
+            if count < len(tree):
+                return  # some subtree has not reported yet
+            state = (tuple(sorted(agg.items())), floor)
+            if state == self._dn_last:
+                return
+            self._dn_last = state
+            self._apply_dn(agg, floor)
+            note = Message(_proto="g.stab.dn", gid=engine.gid,
+                           stab_view=view.view_id,
+                           stable_b=encode_have_vector(agg),
+                           df=list(floor))
+            for child in children:
+                self.dn_sent += 1
+                engine.sim.trace.bump("stab.dn_sent")
+                self.kernel.send_to_site(child, note)
+            return
+        state = (tuple(sorted(agg.items())), count, floor)
+        if state == self._up_last:
+            return  # nothing new for the parent
+        self._up_last = state
+        parent = tree.parent(root, me)
+        if parent is None:
+            return
+        note = Message(_proto="g.stab.up", gid=engine.gid,
+                       stab_view=view.view_id,
+                       have_b=encode_have_vector(agg),
+                       n=count, df=list(floor))
+        self.up_sent += 1
+        engine.sim.trace.bump("stab.up_sent")
+        self.kernel.send_to_site(parent, note)
+
+    def on_up(self, src_site: int, msg: Message) -> None:
+        """A child's aggregated subtree report (``g.stab.up``)."""
+        engine = self.engine
+        view = engine.view
+        if (not self._tree_mode or view is None
+                or msg.get("stab_view") != view.view_id):
+            engine.sim.trace.bump("stab.stale_up")
+            return
+        try:
+            have = decode_have_vector(bytes(msg["have_b"]))
+        except CodecError:
+            engine.sim.trace.bump("stability.bad_piggyback")
+            return
+        df = msg["df"]
+        self._child_up[src_site] = (have, int(msg["n"]), (df[0], df[1]))
+        self.kernel.note_group_dirty(engine.shard_key)
+        # Re-aggregate immediately: fresh child state propagates one hop
+        # per event, so a full wave costs depth hops, not depth ticks.
+        self.tree_push()
+
+    def on_dn(self, src_site: int, msg: Message) -> None:
+        """The root's stable cut, relayed down the tree (``g.stab.dn``)."""
+        engine = self.engine
+        view = engine.view
+        if (not self._tree_mode or view is None
+                or msg.get("stab_view") != view.view_id):
+            engine.sim.trace.bump("stab.stale_dn")
+            return
+        try:
+            stable = decode_have_vector(bytes(msg["stable_b"]))
+        except CodecError:
+            engine.sim.trace.bump("stability.bad_piggyback")
+            return
+        df = msg["df"]
+        self._apply_dn(stable, (df[0], df[1]))
+        tree = self.pipeline.dissemination.tree()
+        root = self._stab_root()
+        me = engine.site_id
+        if tree is None or root is None:
+            return
+        for child in tree.children(root, me):
+            if child == root:
+                continue
+            self.dn_sent += 1
+            engine.sim.trace.bump("stab.dn_sent")
+            self.kernel.send_to_site(child, msg)
+
+    def _apply_dn(self, stable: Dict[int, int],
+                  floor: Tuple[int, int]) -> None:
+        engine = self.engine
+        if self._tree_floor is None or floor > self._tree_floor:
+            self._tree_floor = floor
+        if (stable and engine.installed and not engine.wedged
+                and engine.store.buffered_count):
+            # Wedged: defer exactly like maybe_trim — mid-flush trims
+            # could empty a pending refill the coordinator counts on.
+            dropped = engine.store.trim_stable(stable)
+            if dropped:
+                self._last_advance = engine.sim.now
+                engine.sim.trace.bump("stability.trimmed", dropped)
+                engine.sim.trace.bump("stability.tree_trimmed", dropped)
+        engine.prune_delivered_finals()
+
+    def tree_floor(self) -> Optional[Tuple[int, int]]:
+        """Group-wide min ABCAST delivery floor per the last full wave.
+
+        ``None`` until the first complete aggregation of the view; used
+        by :meth:`GroupEngine.prune_delivered_finals` in tree mode in
+        place of the per-peer floor map the piggybacks would have built.
+        """
+        return self._tree_floor
+
+    def pending_work(self) -> bool:
+        """Does this group need the kernel's next stability tick?
+
+        The kernel's sharded dirty sets use this to decide whether to
+        re-arm a group after visiting it; idle groups drop out of the
+        tick entirely (``stab.idle_skipped``).
+        """
+        engine = self.engine
+        if engine.store.buffered_count:
+            return True
+        if self._round_answers is not None:
+            return True
+        if self._tree_mode:
+            if self._up_last is not None:
+                return engine.delivery_floor > self._up_last[2]
+            if self._dn_last is not None:
+                return engine.delivery_floor > self._dn_last[1]
+            return engine.delivery_floor > (0, 0)
+        return (self.kernel.config.fast_flush
+                and engine.delivery_floor > self._floor_announced)
 
     # -- fallback rounds (coordinator-driven garbage collection) -----------
     def start_round(self) -> None:
@@ -836,6 +1332,10 @@ class StabilityStage:
         self._floor_announced = (0, 0)
         self._recv_since_announce = 0
         self._round_answers = None
+        self._child_up.clear()
+        self._up_last = None
+        self._dn_last = None
+        self._tree_floor = None
 
 
 # ----------------------------------------------------------------------
@@ -848,11 +1348,20 @@ class DeliveryPipeline:
     WIRE_PROTOS = frozenset({
         BATCH_PROTO, "g.cb", "g.ab", "g.abp", "g.abf", "g.abs",
         "g.stab.q", "g.stab.a", "g.stab.trim",
+        TREE_PROTO, "g.stab.up", "g.stab.dn",
     })
 
     def __init__(self, engine: "GroupEngine"):
         self.engine = engine
-        self.dissemination = DisseminationStage(engine, self)
+        dmode = engine.kernel.config.dissemination
+        if dmode == "tree":
+            self.dissemination: DisseminationStage = TreeDissemination(
+                engine, self)
+        elif dmode == "flat":
+            self.dissemination = DisseminationStage(engine, self)
+        else:
+            raise GroupError(f"unknown dissemination {dmode!r} "
+                             "(expected 'flat' or 'tree')")
         self.causal = CausalOrdering(engine, self)
         mode = engine.kernel.config.abcast_mode
         if mode == "sequencer":
@@ -886,6 +1395,7 @@ class DeliveryPipeline:
             # itself; batched sends carry one per batch container.
             self.stability.attach(env)
         engine.store.record(engine.site_id, env["gseq"], env)
+        engine.kernel.note_group_dirty(engine.shard_key)
         sender_key = env.get("cb_sender") or env.get("ab_sender")
         self.dissemination.fan_out(env, sender_key)
 
@@ -918,6 +1428,12 @@ class DeliveryPipeline:
             self.stability.on_answer(src_site, msg)
         elif proto == "g.stab.trim":
             self.stability.on_trim(msg)
+        elif proto == TREE_PROTO:
+            self.dissemination.on_relay(src_site, msg)
+        elif proto == "g.stab.up":
+            self.stability.on_up(src_site, msg)
+        elif proto == "g.stab.dn":
+            self.stability.on_dn(src_site, msg)
         else:  # pragma: no cover - engine only routes WIRE_PROTOS here
             self.engine.sim.trace.bump("engine.unknown_proto")
 
@@ -936,6 +1452,7 @@ class DeliveryPipeline:
             self._pre_view.append((view_id, env))
             return
         if engine.store.record(env["origin"], env["gseq"], env):
+            engine.kernel.note_group_dirty(engine.shard_key)
             self.stability.note_received()
             self.process(env)
             # In-flight data arriving mid-flush can be exactly what the
@@ -955,6 +1472,7 @@ class DeliveryPipeline:
             engine.sim.trace.bump("engine.stale_refill_drop")
             return False
         if engine.store.record(env["origin"], env["gseq"], env):
+            engine.kernel.note_group_dirty(engine.shard_key)
             self.process(env)
             return True
         return False
@@ -972,6 +1490,7 @@ class DeliveryPipeline:
         view = self.engine.view
         if view is None:
             return
+        self.dissemination.drain_pre_view_wrappers()
         ready = [(v, env) for v, env in self._pre_view if v <= view.view_id]
         self._pre_view = [(v, env) for v, env in self._pre_view
                           if v > view.view_id]

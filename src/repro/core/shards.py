@@ -1,0 +1,235 @@
+"""Sharded per-group kernel state: the :class:`GroupShard` layer.
+
+A kernel hosting thousands of groups must not pay O(groups) for every
+periodic tick or statistic scan.  Group engines are hashed into a fixed
+number of shards; each shard tracks its member groups, its own occupancy
+high-water mark, and a *dirty set* of groups that actually need the next
+stability tick (buffered messages, unannounced delivery floors, pending
+aggregation work).  The kernel's stability tick then walks only dirty
+groups — idle groups are skipped and counted (``stab.idle_skipped``).
+
+The cross-group causal :class:`WaitIndex` is partitioned the same way
+(:class:`ShardedWaitIndex`): registrations are bucketed by the *watched*
+group's shard, so the hot-path operations — register, advance, view
+event — touch one shard's dictionaries regardless of how many groups
+the kernel hosts.  ``purge_engine`` sweeps all shards (a waiter's engine
+and its watched group can live in different shards), which is O(shards),
+a small constant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..msg.address import Address
+
+#: A blocked CBCAST is identified kernel-wide by the group it is pending
+#: in plus its (sender, seq) key within that group's causal receiver.
+WaiterKey = Tuple[Address, Tuple[Address, int]]
+
+
+def shard_of(key: Address, n_shards: int) -> int:
+    """Deterministic shard index for a group address.
+
+    Mixes the creator site and per-site group number with a fixed odd
+    multiplier — stable across runs and interpreters (unlike ``hash``
+    on composite objects), so simulated trajectories are reproducible.
+    """
+    return ((key.site * 1000003) ^ key.local_id) % n_shards
+
+
+class GroupShard:
+    """Bookkeeping for one shard of the kernel's group table."""
+
+    __slots__ = ("index", "keys", "stab_dirty", "peak_groups")
+
+    def __init__(self, index: int):
+        self.index = index
+        #: Group keys currently hosted in this shard.
+        self.keys: Set[Address] = set()
+        #: Groups needing attention at the next stability tick.
+        self.stab_dirty: Set[Address] = set()
+        #: Occupancy high-water mark (``kernel.peak_groups_per_shard``).
+        self.peak_groups = 0
+
+    def add(self, key: Address) -> None:
+        self.keys.add(key)
+        if len(self.keys) > self.peak_groups:
+            self.peak_groups = len(self.keys)
+
+    def remove(self, key: Address) -> None:
+        self.keys.discard(key)
+        self.stab_dirty.discard(key)
+
+
+class WaitIndex:
+    """Cross-group causal wait thresholds, kernel-wide.
+
+    A CBCAST whose causal context is unsatisfied registers here against
+    the *first* threshold its context fails: either a delivery counter
+    ``(gid, member, needed_seq)`` — woken the moment that group's
+    delivered vector reaches ``needed_seq`` for ``member`` — or a view
+    threshold on ``gid`` — woken when that group installs any newer view
+    (vectors reset per view, so any view event can only satisfy waits).
+    Each waiter holds at most one slot; on wake it re-evaluates its full
+    context and either delivers or re-registers on the next failing
+    threshold.  This replaces the legacy broadcast re-scan of every
+    group's pending buffer on every delivery.
+    """
+
+    __slots__ = ("_counter_waits", "_view_waits", "_slots", "_by_engine",
+                 "peak_size")
+
+    def __init__(self) -> None:
+        #: gid -> (member, needed_seq) -> ordered waiters (dict-as-set).
+        self._counter_waits: Dict[
+            Address, Dict[Tuple[Address, int], Dict[WaiterKey, None]]] = {}
+        #: gid -> ordered waiters blocked on a future view of gid.
+        self._view_waits: Dict[Address, Dict[WaiterKey, None]] = {}
+        #: waiter -> (gid, bucket key or None-for-view) reverse map.
+        self._slots: Dict[WaiterKey, Tuple[Address,
+                                           Optional[Tuple[Address, int]]]] = {}
+        #: waiters registered by each engine (purged at its view changes).
+        self._by_engine: Dict[Address, Set[WaiterKey]] = {}
+        self.peak_size = 0
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def register_counter(self, gid: Address, member: Address, needed: int,
+                         waiter: WaiterKey) -> None:
+        """Wake ``waiter`` when gid's delivered[member] reaches ``needed``."""
+        self.remove(waiter)
+        bucket_key = (member.process(), needed)
+        self._counter_waits.setdefault(gid, {}).setdefault(
+            bucket_key, {})[waiter] = None
+        self._slots[waiter] = (gid, bucket_key)
+        self._by_engine.setdefault(waiter[0], set()).add(waiter)
+        if len(self._slots) > self.peak_size:
+            self.peak_size = len(self._slots)
+
+    def register_view(self, gid: Address, waiter: WaiterKey) -> None:
+        """Wake ``waiter`` when ``gid`` installs a newer view."""
+        self.remove(waiter)
+        self._view_waits.setdefault(gid, {})[waiter] = None
+        self._slots[waiter] = (gid, None)
+        self._by_engine.setdefault(waiter[0], set()).add(waiter)
+        if len(self._slots) > self.peak_size:
+            self.peak_size = len(self._slots)
+
+    def remove(self, waiter: WaiterKey) -> None:
+        """Drop a waiter's slot (delivered, re-registering, or discarded)."""
+        slot = self._slots.get(waiter)
+        if slot is None:
+            return
+        gid, bucket_key = slot
+        if bucket_key is None:
+            bucket = self._view_waits.get(gid)
+            if bucket is not None:
+                bucket.pop(waiter, None)
+                if not bucket:
+                    del self._view_waits[gid]
+        else:
+            buckets = self._counter_waits.get(gid)
+            if buckets is not None:
+                bucket = buckets.get(bucket_key)
+                if bucket is not None:
+                    bucket.pop(waiter, None)
+                    if not bucket:
+                        del buckets[bucket_key]
+                if not buckets:
+                    del self._counter_waits[gid]
+        self._discard_slot(waiter)
+
+    def on_advance(self, gid: Address, member: Address,
+                   seq: int) -> List[WaiterKey]:
+        """Group ``gid`` delivered ``member``'s message ``seq``."""
+        buckets = self._counter_waits.get(gid)
+        if buckets is None:
+            return []
+        bucket = buckets.pop((member.process(), seq), None)
+        if bucket is None:
+            return []
+        if not buckets:
+            del self._counter_waits[gid]
+        woken = list(bucket)
+        for waiter in woken:
+            self._discard_slot(waiter)
+        return woken
+
+    def on_view_event(self, gid: Address) -> List[WaiterKey]:
+        """Group ``gid`` installed a new view (or was retired)."""
+        woken: List[WaiterKey] = []
+        buckets = self._counter_waits.pop(gid, None)
+        if buckets is not None:
+            for bucket in buckets.values():
+                woken.extend(bucket)
+        view_bucket = self._view_waits.pop(gid, None)
+        if view_bucket is not None:
+            woken.extend(view_bucket)
+        for waiter in woken:
+            self._discard_slot(waiter)
+        return woken
+
+    def purge_engine(self, engine_gid: Address) -> None:
+        """An engine's pending buffer reset: drop its registrations."""
+        for waiter in list(self._by_engine.get(engine_gid, ())):
+            self.remove(waiter)
+
+    def _discard_slot(self, waiter: WaiterKey) -> None:
+        """Bookkeeping removal after a bucket was already popped."""
+        self._slots.pop(waiter, None)
+        engine_waiters = self._by_engine.get(waiter[0])
+        if engine_waiters is not None:
+            engine_waiters.discard(waiter)
+            if not engine_waiters:
+                del self._by_engine[waiter[0]]
+
+
+class ShardedWaitIndex:
+    """A :class:`WaitIndex` partitioned by the watched group's shard.
+
+    API-compatible with :class:`WaitIndex`; every per-gid operation
+    resolves one partition in O(1).  ``purge_engine`` fans out over all
+    partitions because a waiter's own engine may live in a different
+    shard than the group it watches.
+    """
+
+    __slots__ = ("_parts",)
+
+    def __init__(self, n_shards: int):
+        self._parts = [WaitIndex() for _ in range(max(1, n_shards))]
+
+    def _part(self, gid: Address) -> WaitIndex:
+        return self._parts[shard_of(gid, len(self._parts))]
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self._parts)
+
+    @property
+    def peak_size(self) -> int:
+        return max(p.peak_size for p in self._parts)
+
+    def register_counter(self, gid: Address, member: Address, needed: int,
+                         waiter: WaiterKey) -> None:
+        self.remove(waiter)
+        self._part(gid).register_counter(gid, member, needed, waiter)
+
+    def register_view(self, gid: Address, waiter: WaiterKey) -> None:
+        self.remove(waiter)
+        self._part(gid).register_view(gid, waiter)
+
+    def remove(self, waiter: WaiterKey) -> None:
+        for part in self._parts:
+            part.remove(waiter)
+
+    def on_advance(self, gid: Address, member: Address,
+                   seq: int) -> List[WaiterKey]:
+        return self._part(gid).on_advance(gid, member, seq)
+
+    def on_view_event(self, gid: Address) -> List[WaiterKey]:
+        return self._part(gid).on_view_event(gid)
+
+    def purge_engine(self, engine_gid: Address) -> None:
+        for part in self._parts:
+            part.purge_engine(engine_gid)

@@ -1,0 +1,135 @@
+"""Deterministic k-ary spanning trees over a view's member sites.
+
+Hierarchical dissemination (``IsisConfig.dissemination = "tree"``) relays
+multicast envelopes and stability traffic along a spanning tree instead
+of having every sender pay O(n) wire messages per multicast.  The tree
+needs no agreement protocol of its own: it is a pure function of the
+(totally ordered) member-site list of the current group view, so every
+member computes the same tree, and a view change — the only event that
+alters membership — rebuilds it for free.
+
+Any site can act as the root of its own tree: positions are *rotated* so
+that the root occupies index 0 and the k-ary heap layout (children of
+position ``p`` are ``k·p+1 … k·p+k``) is applied to the rotated order.
+Two members therefore agree on the children of any node for any root,
+which is what makes per-origin relay trees (each multicast origin roots
+its own tree) consistent without extra coordination.
+
+A relay failure loses the messages bound for its subtree only until the
+failure detector triggers a view change: the flush's union cut and
+refill repair exactly this hole, so tree dissemination preserves virtual
+synchrony with no additional recovery machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+class SpanningTree:
+    """A k-ary spanning tree over a sorted site list, rootable anywhere.
+
+    The site list is deduplicated and sorted once at construction; all
+    parent/child queries are O(fanout) with O(1) index lookups.
+    """
+
+    __slots__ = ("sites", "fanout", "_index")
+
+    def __init__(self, sites: Sequence[int], fanout: int):
+        self.sites: List[int] = sorted(set(sites))
+        self.fanout = max(1, int(fanout))
+        self._index: Dict[int, int] = {
+            site: i for i, site in enumerate(self.sites)
+        }
+
+    def __contains__(self, site: int) -> bool:
+        return site in self._index
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+    # -- rotation ----------------------------------------------------------
+    def _position(self, root: int, site: int) -> Optional[int]:
+        """``site``'s heap position in the tree rooted at ``root``."""
+        ri = self._index.get(root)
+        si = self._index.get(site)
+        if ri is None or si is None:
+            return None
+        return (si - ri) % len(self.sites)
+
+    def _site_at(self, root: int, position: int) -> int:
+        ri = self._index[root]
+        return self.sites[(ri + position) % len(self.sites)]
+
+    # -- queries -----------------------------------------------------------
+    def children(self, root: int, site: int) -> List[int]:
+        """Sites ``site`` must relay to, in the tree rooted at ``root``.
+
+        Empty when ``site`` (or ``root``) is not in the tree — a relay
+        whose view disagrees with the wrapper simply stops forwarding
+        and lets the flush repair the hole.
+        """
+        pos = self._position(root, site)
+        if pos is None:
+            return []
+        n = len(self.sites)
+        first = self.fanout * pos + 1
+        return [self._site_at(root, p)
+                for p in range(first, min(first + self.fanout, n))]
+
+    def parent(self, root: int, site: int) -> Optional[int]:
+        """The site ``site`` reports to, in the tree rooted at ``root``."""
+        pos = self._position(root, site)
+        if pos is None or pos == 0:
+            return None
+        return self._site_at(root, (pos - 1) // self.fanout)
+
+    def depth(self) -> int:
+        """Maximum hop count root → leaf (identical for every root)."""
+        n = len(self.sites)
+        depth = 0
+        first_at_depth = 1  # heap position of the first node at `depth+1`
+        while first_at_depth < n:
+            depth += 1
+            first_at_depth = self.fanout * first_at_depth + 1
+        return depth
+
+    def subtree_size(self, root: int, site: int) -> int:
+        """Number of sites in ``site``'s subtree (inclusive)."""
+        pos = self._position(root, site)
+        if pos is None:
+            return 0
+        n = len(self.sites)
+        count = 0
+        frontier = [pos]
+        while frontier:
+            p = frontier.pop()
+            if p >= n:
+                continue
+            count += 1
+            first = self.fanout * p + 1
+            frontier.extend(range(first, min(first + self.fanout, n)))
+        return count
+
+
+def min_merge_have_vectors(vectors: "List[Dict[int, int]]") -> Dict[int, int]:
+    """Pointwise minimum of have-vectors, with absent entries read as 0.
+
+    The result keeps only origins present in *every* vector (an origin
+    missing anywhere has an implicit contiguous floor of 0 there, so the
+    pointwise minimum is 0 and the entry is dropped).  This is the
+    aggregation interior tree nodes apply to their children's subtree
+    reports: the merge of mins is the min over the union of subtrees.
+    """
+    if not vectors:
+        return {}
+    out = dict(vectors[0])
+    for vec in vectors[1:]:
+        for origin in list(out):
+            top = vec.get(origin, 0)
+            if top < out[origin]:
+                if top <= 0:
+                    del out[origin]
+                else:
+                    out[origin] = top
+    return out

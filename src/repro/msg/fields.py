@@ -193,7 +193,14 @@ def decode_uvarint(data: bytes, offset: int) -> Tuple[int, int]:
 
 
 def encode_have_vector(have: "dict[int, int]") -> bytes:
-    """Compact encoding of a per-origin-site have-vector."""
+    """Compact encoding of a per-origin-site have-vector.
+
+    Sites are delta-encoded in sorted order, values are varints.  The
+    same codec carries flat-mode piggybacks/announcements and the
+    tree-mode aggregation frames (``g.stab.up``'s subtree minimum and
+    ``g.stab.dn``'s global stable cut — see ``core/tree.py``'s
+    ``min_merge_have_vectors``).
+    """
     parts = [encode_uvarint(len(have))]
     prev_site = 0
     for site in sorted(have):

@@ -66,6 +66,11 @@ class Lan:
         self._endpoints: Dict[int, Callable[[Frame], None]] = {}
         self._partition_of: Dict[int, int] = {}  # site -> partition tag
         self._rng = sim.rng("lan.loss")
+        #: Per-source-site wire accounting (scale benchmarks compare the
+        #: *maximum* per-site load: flat dissemination concentrates O(n)
+        #: sends at the origin, tree mode bounds every site by fanout).
+        self.frames_by_site: Dict[int, int] = {}
+        self.bytes_by_site: Dict[int, int] = {}
 
     # -- wiring ----------------------------------------------------------
     def attach(self, site_id: int, endpoint: Callable[[Frame], None]) -> None:
@@ -101,6 +106,10 @@ class Lan:
         """Put one frame on the wire from its src to its dst site."""
         self.sim.trace.bump("lan.frames")
         self.sim.trace.bump("lan.bytes", frame.wire_size)
+        src = frame.src_site
+        self.frames_by_site[src] = self.frames_by_site.get(src, 0) + 1
+        self.bytes_by_site[src] = (
+            self.bytes_by_site.get(src, 0) + frame.wire_size)
         inter_site = frame.src_site != frame.dst_site
         if inter_site:
             self.sim.trace.bump("lan.frames.inter")

@@ -124,3 +124,68 @@ def test_removed_peer_not_probed():
     h.probes.clear()
     sim.run(until=1.2)
     assert set(h.probes) == {2}
+
+
+# -- staggered tick buckets (scale-out past 32 sites) ------------------------
+
+def test_few_peers_single_bucket_legacy_behavior():
+    """At or below tick_bucket_size the monitor is the original whole-scan
+    tick: one bucket, probes for every peer each interval."""
+    sim = Simulator()
+    h = Harness(sim)
+    h.monitor.set_peers(range(1, 33))  # exactly 32 peers
+    assert h.monitor.n_buckets() == 1
+    h.monitor.start()
+    sim.run(until=0.4)  # one tick at t=0
+    assert sorted(h.probes) == list(range(1, 33))
+
+
+@pytest.mark.parametrize("n_peers,expected_buckets", [
+    (33, 2), (64, 2), (65, 3), (256, 8),
+])
+def test_bucket_count_scales_ceil(n_peers, expected_buckets):
+    sim = Simulator()
+    h = Harness(sim)
+    h.monitor.set_peers(range(1, n_peers + 1))
+    assert h.monitor.n_buckets() == expected_buckets
+    assert h.monitor.stats() == {
+        "fd.tick_bucket_size": 32,
+        "fd.buckets": expected_buckets,
+    }
+
+
+def test_bucket_size_zero_disables_staggering():
+    sim = Simulator()
+    h = Harness(sim, config=HeartbeatConfig(tick_bucket_size=0))
+    h.monitor.set_peers(range(1, 101))
+    assert h.monitor.n_buckets() == 1
+
+
+def test_staggered_every_peer_probed_once_per_interval():
+    """With 64 peers in 2 buckets, sub-ticks alternate buckets but each
+    full interval still probes every peer exactly once."""
+    sim = Simulator()
+    h = Harness(sim)
+    h.monitor.set_peers(range(1, 65))
+    h.monitor.start()
+    sim.run(until=0.49)  # sub-ticks at t=0 and t=0.25: one full interval
+    assert sorted(h.probes) == list(range(1, 65))
+    # Sub-ticks must not probe everyone at once (the burst is halved).
+    first_subtick = h.probes[:32]
+    assert len(set(p % 2 for p in first_subtick)) == 1
+
+
+def test_staggered_silent_peer_still_suspected():
+    sim = Simulator()
+    h = Harness(sim)
+    h.monitor.set_peers(range(1, 65))
+    h.monitor.start()
+
+    def feed_all_but_one():
+        for peer in range(2, 65):
+            h.monitor.note_heartbeat(peer)
+
+    for t in range(1, 40):
+        sim.call_at(t * 0.5, feed_all_but_one)
+    sim.run(until=10.0)
+    assert h.suspects == [1]
