@@ -46,6 +46,15 @@ def main() -> None:
     # and ~20x lower stability traffic at 64 sites; dissemination=
     # "flat", the default, keeps the paper's point-to-point fan-out —
     # see BENCH_scale.json).
+    # Everything below runs on the deterministic simulator, but the same
+    # kernel also runs over real sockets: swap IsisCluster for
+    #   from repro.runtime.asyncio_driver import AsyncioCluster
+    #   system = AsyncioCluster(n_sites=3, seed=7)
+    # (localhost UDP/TCP, wall-clock timers; use run_until(predicate)
+    # instead of fixed run_for windows since real timing varies), or run
+    # one OS process per site with scripts/run_cluster.py — see the
+    # "One kernel, two drivers" section of ARCHITECTURE.md and
+    # BENCH_realnet.json.
     system = IsisCluster(n_sites=3, seed=7)
 
     # --- one member process per site -----------------------------------

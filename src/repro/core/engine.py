@@ -290,6 +290,16 @@ class GroupEngine:
         """
         return self._delivery_floor
 
+    def shutdown(self) -> None:
+        """Disarm the flush-grace and okb-batch timers and the pipeline."""
+        if self._grace_timer is not None:
+            self._grace_timer.cancel()
+            self._grace_timer = None
+        if self._okb_timer is not None:
+            self._okb_timer.cancel()
+            self._okb_timer = None
+        self.pipeline.shutdown()
+
     def prune_delivered_finals(self) -> int:
         """Drop delivered finals known delivered at every member site.
 

@@ -210,11 +210,16 @@ class ProtocolsProcess:
         self.site_id = site.site_id
         self.config = config or IsisConfig()
         self.alive = True
+        #: Sites named in the deployment configuration (the kernel's
+        #: pre-genesis world view; the site view replaces it after
+        #: genesis).  Stored here so the kernel never needs to reach
+        #: into driver internals to enumerate the cluster.
+        self._all_sites = list(all_sites)
         self.process = site.spawn_process("protocols", local_id=KERNEL_LOCAL_ID)
         site.kernel = self  # type: ignore[attr-defined]
         site.set_message_handler(self._on_transport_message)
-        assert site.transport is not None
-        site.transport.on_raw = self._on_raw
+        site.set_raw_handler(self._on_raw)
+        site.set_bulk_handler(self._on_bulk_data)
         site.on_crash(lambda _site: self.shutdown())
         # Failure detection + site views.
         self.heartbeat = HeartbeatMonitor(
@@ -302,7 +307,28 @@ class ProtocolsProcess:
         self.agent.stop()
         if self._stability_timer is not None:
             self._stability_timer.cancel()
+            self._stability_timer = None
+        for engine in self.engines.values():
+            engine.shutdown()
         self.engines.clear()
+        # Join attempts in flight: their retry/transfer timers would
+        # otherwise fire into a dead kernel.
+        for state in self._joins.values():
+            if state.timer is not None:
+                state.timer.cancel()
+                state.timer = None
+            if state.transfer_timer is not None:
+                state.transfer_timer.cancel()
+                state.transfer_timer = None
+            if not state.promise.done:
+                state.promise.reject(
+                    SiteDown(f"site {self.site_id} is down"))
+        self._joins.clear()
+        # Outbound state-transfer streams: close the bulk connections so
+        # receivers see a reset instead of a silent stall.
+        for stream in self._out_streams.values():
+            stream["conn"].close()
+        self._out_streams.clear()
 
     def _self_destruct(self) -> None:
         """We were excluded from the site view while alive (§3.7)."""
@@ -321,7 +347,7 @@ class ProtocolsProcess:
         """Sites in the current site view (everyone, before genesis)."""
         view = self.agent.view
         if view is None:
-            return set(range(len(self.site.cluster.sites)))
+            return set(self._all_sites)
         return set(view.sites())
 
     # ------------------------------------------------------------------
@@ -352,24 +378,13 @@ class ProtocolsProcess:
         callers can chain sequential transfers — the streaming state
         transfer sends its next chunk only when the previous landed.
         """
-        data = msg.encode()
-        dst = self.site.cluster.sites.get(dst_site)
-        if dst is None or not dst.up:
-            promise = Promise(label=f"bulk-to-down-site:{dst_site}")
-            promise.reject(SiteDown(f"site {dst_site} down"))
-            return promise
-        promise = self.site.cluster.bulk.transfer(
-            self.site_id, dst_site, data, self.site.cpu, dst.cpu)
+        return self.site.send_bulk(dst_site, msg.encode())
 
-        def arrived(p: Promise) -> None:
-            if p.rejected:
-                return
-            kernel = getattr(self.site.cluster.sites.get(dst_site), "kernel", None)
-            if kernel is not None and kernel.alive:
-                kernel._dispatch(self.site_id, Message.decode(p.value))
-
-        promise.add_done_callback(arrived)
-        return promise
+    def _on_bulk_data(self, src_site: int, data: bytes) -> None:
+        """A bulk blob landed: decode and dispatch like any message."""
+        if not self.alive:
+            return
+        self._dispatch(src_site, Message.decode(data))
 
     def _on_transport_message(self, src_site: int, data: bytes) -> None:
         if not self.alive:
@@ -386,8 +401,8 @@ class ProtocolsProcess:
             self.heartbeat.note_heartbeat(src_site)
 
     def _send_heartbeat(self, dst_site: int) -> None:
-        if self.alive and self.site.transport is not None:
-            self.site.transport.send_raw(dst_site, _HEARTBEAT_PAYLOAD)
+        if self.alive:
+            self.site.send_raw(dst_site, _HEARTBEAT_PAYLOAD)
 
     def _on_suspect(self, site_id: int) -> None:
         self.agent.suspect(site_id)
@@ -961,16 +976,19 @@ class ProtocolsProcess:
     def _start_state_stream(self, gid: Address, joiner: Address,
                             data: bytes) -> None:
         key = (gid.process(), joiner.process())
-        dst = self.site.cluster.sites.get(joiner.site)
-        if dst is None or not dst.up:
+        previous = self._out_streams.get(key)
+        if previous is not None:
+            # A restarted stream abandons the old connection; its
+            # in-flight chunks must not be delivered (connection reset).
+            previous["conn"].close()
+        conn = self.site.open_bulk_stream(joiner.site)
+        if conn is None:
             return
         xid = self._next_xfer_id
         self._next_xfer_id += 1
         chunk = max(1, self.config.transfer_chunk_bytes)
         chunks = [data[i:i + chunk] for i in range(0, len(data), chunk)] \
             or [b""]
-        conn = self.site.cluster.bulk.stream(
-            self.site_id, joiner.site, self.site.cpu, dst.cpu)
         self._out_streams[key] = {
             "xid": xid, "chunks": chunks, "idx": 0, "site": joiner.site,
             "conn": conn,
@@ -991,7 +1009,6 @@ class ProtocolsProcess:
         self._xfer_stream_bytes += len(chunks[idx])
         self.sim.trace.bump("state_transfer.chunks")
         self.sim.trace.bump("state_transfer.stream_bytes", len(chunks[idx]))
-        dst_site = stream["site"]
         promise = stream["conn"].send(note.encode())
 
         def sent(p: Promise) -> None:
@@ -1001,10 +1018,6 @@ class ProtocolsProcess:
             if p.rejected:
                 self._abort_state_stream(key[0], key[1])
                 return
-            kernel = getattr(self.site.cluster.sites.get(dst_site),
-                             "kernel", None)
-            if kernel is not None and kernel.alive:
-                kernel._dispatch(self.site_id, Message.decode(p.value))
             stream_now["idx"] += 1
             if stream_now["idx"] >= len(stream_now["chunks"]):
                 self._out_streams.pop(key, None)
@@ -1015,8 +1028,10 @@ class ProtocolsProcess:
 
     def _abort_state_stream(self, gid: Address, joiner: Address) -> None:
         """Joiner died or left mid-stream: stop shipping its snapshot."""
-        if self._out_streams.pop((gid.process(), joiner.process()),
-                                 None) is not None:
+        stream = self._out_streams.pop((gid.process(), joiner.process()),
+                                       None)
+        if stream is not None:
+            stream["conn"].close()
             self._xfer_streams_aborted += 1
             self.sim.trace.bump("state_transfer.streams_aborted")
 

@@ -109,6 +109,18 @@ class DisseminationStage:
         self._send_seq += 1
         return self._send_seq
 
+    def shutdown(self) -> None:
+        """Disarm batch timers; reject envelopes still waiting in them."""
+        for buf in self._buffers.values():
+            if buf.timer is not None:
+                buf.timer.cancel()
+                buf.timer = None
+            for _, promise in buf.entries:
+                if not promise.done:
+                    promise.reject(
+                        SiteDown(f"site {self.engine.site_id} is down"))
+        self._buffers.clear()
+
     def fan_out(self, env: Message, sender_key: Optional[Address]) -> None:
         """Send ``env`` to every remote member site of the current view."""
         view = self.engine.view
@@ -602,6 +614,9 @@ class TotalOrdering:
         self.stamps_sent = 0      # always 0 in two-phase mode
         self.token_handoffs = 0   # always 0 in two-phase mode
 
+    def shutdown(self) -> None:
+        """Two-phase mode keeps no standing timers; nothing to disarm."""
+
     def stamp(self, env: Message, sender: Address) -> None:
         """Send side: open a proposal collection for this envelope."""
         assert self.engine.view is not None
@@ -730,6 +745,12 @@ class SequencerOrdering:
         self.finals_sent = 0      # always 0 in sequencer mode
         self.stamps_sent = 0
         self.token_handoffs = 0
+
+    def shutdown(self) -> None:
+        """Disarm the token side's pending stamp-batch timer."""
+        if self._stamp_timer is not None:
+            self._stamp_timer.cancel()
+            self._stamp_timer = None
 
     # -- token identity ----------------------------------------------------
     def token_site(self) -> Optional[int]:
@@ -1374,6 +1395,12 @@ class DeliveryPipeline:
         self.stability = StabilityStage(engine, self)
         #: Envelopes for views we have not installed yet.
         self._pre_view: List[Tuple[int, Message]] = []
+
+    # -- lifecycle ---------------------------------------------------------
+    def shutdown(self) -> None:
+        """Disarm every stage timer (kernel shutdown / crash teardown)."""
+        self.dissemination.shutdown()
+        self.total.shutdown()
 
     # -- send path ---------------------------------------------------------
     def next_gseq(self) -> int:

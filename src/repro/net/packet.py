@@ -8,6 +8,7 @@ which travels as one LAN packet and is reassembled at the receiving site.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -53,6 +54,107 @@ class Frame:
             f"msg={self.msg_id} frag={self.frag_index + 1}/{self.frag_total} "
             f"{len(self.payload)}B>"
         )
+
+
+# ----------------------------------------------------------------------
+# Binary frame codec (real-network driver)
+# ----------------------------------------------------------------------
+# The simulator hands Frame *objects* to the modeled LAN, so no byte
+# encoding is needed there.  The asyncio/UDP driver puts the same frames
+# on real sockets; this codec is the wire format.  Several frames can be
+# coalesced into one datagram (see encode_datagram), which is the
+# syscall-batching optimization measured by bench_realnet.
+#
+# Header layout (network byte order):
+#   kind      u8   (0=data, 1=ack, 2=raw)
+#   flags     u8   (bit 0: cheap/piggyback copy)
+#   src_site  u16
+#   dst_site  u16
+#   epoch     u16  (sender incarnation)
+#   seq       u32
+#   ack       i32  (-1 = no ack piggybacked)
+#   msg_id    u32
+#   frag_index u16
+#   frag_total u16
+#   payload_len u32
+_FRAME_STRUCT = struct.Struct("!BBHHHIiIHHI")
+FRAME_WIRE_HEADER_BYTES = _FRAME_STRUCT.size
+
+_KIND_TO_CODE = {KIND_DATA: 0, KIND_ACK: 1, KIND_RAW: 2}
+_CODE_TO_KIND = {code: kind for kind, code in _KIND_TO_CODE.items()}
+
+#: Datagram prefix: magic (u16), version (u8), frame count (u8).
+_DGRAM_STRUCT = struct.Struct("!HBB")
+DATAGRAM_MAGIC = 0x5653  # "VS"
+DATAGRAM_VERSION = 1
+DATAGRAM_HEADER_BYTES = _DGRAM_STRUCT.size
+#: Most frames that fit in one datagram bundle (count is a u8).
+MAX_FRAMES_PER_DATAGRAM = 255
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize one frame (header + payload) for the real wire."""
+    code = _KIND_TO_CODE.get(frame.kind)
+    if code is None:
+        raise NetworkError(f"unknown frame kind {frame.kind!r}")
+    flags = 1 if frame.cheap else 0
+    header = _FRAME_STRUCT.pack(
+        code, flags, frame.src_site, frame.dst_site, frame.epoch,
+        frame.seq, frame.ack, frame.msg_id, frame.frag_index,
+        frame.frag_total, len(frame.payload),
+    )
+    return header + frame.payload
+
+
+def decode_frame(buf: bytes, offset: int = 0) -> Tuple[Frame, int]:
+    """Parse one frame starting at ``offset``; returns (frame, next_offset)."""
+    end = offset + FRAME_WIRE_HEADER_BYTES
+    if end > len(buf):
+        raise NetworkError("truncated frame header")
+    (code, flags, src, dst, epoch, seq, ack, msg_id,
+     frag_index, frag_total, payload_len) = _FRAME_STRUCT.unpack_from(buf, offset)
+    kind = _CODE_TO_KIND.get(code)
+    if kind is None:
+        raise NetworkError(f"unknown frame kind code {code}")
+    if end + payload_len > len(buf):
+        raise NetworkError("truncated frame payload")
+    payload = bytes(buf[end:end + payload_len])
+    frame = Frame(
+        kind=kind, src_site=src, dst_site=dst, epoch=epoch, seq=seq,
+        ack=ack, msg_id=msg_id, frag_index=frag_index,
+        frag_total=frag_total, payload=payload, cheap=bool(flags & 1),
+    )
+    return frame, end + payload_len
+
+
+def encode_datagram(frames: List[Frame]) -> bytes:
+    """Bundle up to 255 frames into one datagram (magic + version + count)."""
+    if not frames:
+        raise NetworkError("empty datagram")
+    if len(frames) > MAX_FRAMES_PER_DATAGRAM:
+        raise NetworkError(f"too many frames for one datagram: {len(frames)}")
+    parts = [_DGRAM_STRUCT.pack(DATAGRAM_MAGIC, DATAGRAM_VERSION, len(frames))]
+    parts.extend(encode_frame(frame) for frame in frames)
+    return b"".join(parts)
+
+
+def decode_datagram(data: bytes) -> List[Frame]:
+    """Parse a datagram back into its frames (inverse of encode_datagram)."""
+    if len(data) < DATAGRAM_HEADER_BYTES:
+        raise NetworkError("truncated datagram header")
+    magic, version, count = _DGRAM_STRUCT.unpack_from(data, 0)
+    if magic != DATAGRAM_MAGIC:
+        raise NetworkError(f"bad datagram magic 0x{magic:04x}")
+    if version != DATAGRAM_VERSION:
+        raise NetworkError(f"unsupported datagram version {version}")
+    frames: List[Frame] = []
+    offset = DATAGRAM_HEADER_BYTES
+    for _ in range(count):
+        frame, offset = decode_frame(data, offset)
+        frames.append(frame)
+    if offset != len(data):
+        raise NetworkError("trailing bytes after last frame")
+    return frames
 
 
 def fragment(data: bytes, mtu: int) -> List[bytes]:

@@ -1,0 +1,677 @@
+"""Real-socket transport for the asyncio driver.
+
+Two classes mirror the simulator's network substrate over real sockets:
+
+* :class:`UdpTransport` is the real-wire twin of
+  :class:`repro.net.transport.Transport`: the same sliding-window,
+  cumulative-ack, retransmit-on-timeout reliable FIFO protocol, the same
+  :mod:`repro.net.packet` fragmentation/reassembly and epoch handling —
+  but frames travel as UDP datagrams (binary codec in ``net/packet.py``)
+  instead of simulator events.  Raw frames (heartbeats) stay
+  fire-and-forget so a lost probe looks like silence.
+
+* :class:`TcpBulk` plays the role of :class:`repro.net.bulk.BulkChannel`:
+  large blobs (join-state snapshots and their streamed chunks) travel
+  over asyncio TCP connections, each blob acknowledged by the receiver
+  only after the site's bulk handler has consumed it.
+
+The syscall-batching optimization the real driver exposes: with
+``UdpConfig.coalesce`` (default on), frames queued to one destination
+within a single event-loop tick are bundled into as few datagrams as fit
+``max_datagram`` — one ``sendto`` per bundle instead of one per frame.
+ACKs enter the same per-tick buffer, so they piggyback on data bundles
+for free.  ``coalesce=False`` restores frame-per-datagram for the
+before/after measurement in ``benchmarks/bench_realnet.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Mapping, Optional, Set, Tuple
+
+from ..errors import NetworkError, SiteDown
+from ..sim.tasks import Promise
+from .packet import (
+    DATAGRAM_HEADER_BYTES,
+    FRAME_WIRE_HEADER_BYTES,
+    KIND_ACK,
+    KIND_DATA,
+    KIND_RAW,
+    MAX_FRAMES_PER_DATAGRAM,
+    Frame,
+    Reassembler,
+    decode_datagram,
+    encode_datagram,
+    fragment,
+)
+
+
+@dataclass
+class UdpConfig:
+    """Tunables for the real-wire reliable channel (LAN-scale defaults)."""
+
+    mtu: int = 1200              # payload bytes per fragment (fits one datagram)
+    window: int = 64             # outstanding unacked frames per channel
+    rto: float = 0.05            # initial retransmission timeout
+    max_rto: float = 2.0         # backoff ceiling
+    ack_delay: float = 0.0       # 0 = cumulative ACK per delivered batch
+    coalesce: bool = True        # bundle frames per destination per loop tick
+    max_datagram: int = 1400     # bundle size ceiling (stay under typical MTU)
+
+
+class _SendChannel:
+    """Sender-side state for one destination site."""
+
+    __slots__ = ("next_seq", "unacked", "backlog", "retx_timer", "msg_done",
+                 "rto", "sent_at")
+
+    def __init__(self, base_rto: float) -> None:
+        self.next_seq = 0
+        self.unacked: "OrderedDict[int, Frame]" = OrderedDict()
+        self.backlog: Deque[Frame] = deque()
+        self.retx_timer: Optional[Any] = None
+        self.msg_done: Dict[int, Tuple[int, Promise]] = {}
+        self.rto = base_rto
+        #: seq -> time the frame was last handed to the socket.
+        self.sent_at: Dict[int, float] = {}
+
+
+class _RecvChannel:
+    """Receiver-side state for one (source site, epoch)."""
+
+    __slots__ = ("epoch", "expected", "out_of_order")
+
+    def __init__(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.expected = 0
+        self.out_of_order: Dict[int, Frame] = {}
+
+
+class UdpTransport:
+    """One site's real-socket endpoint: reliable ordered byte messages.
+
+    Parameters
+    ----------
+    scheduler:
+        The asyncio-backed :class:`~repro.runtime.driver.Scheduler`
+        (must expose ``.loop``).
+    sock:
+        A bound, non-blocking UDP socket owned by this transport.
+    peers:
+        Live mapping ``site_id -> (host, port)``; looked up per send so
+        endpoints registered after construction are picked up.
+    """
+
+    def __init__(
+        self,
+        scheduler: Any,
+        site_id: int,
+        epoch: int,
+        sock: socket.socket,
+        peers: Mapping[int, Tuple[str, int]],
+        on_message: Callable[[int, bytes], None],
+        config: Optional[UdpConfig] = None,
+    ):
+        self.scheduler = scheduler
+        self.loop: asyncio.AbstractEventLoop = scheduler.loop
+        self.site_id = site_id
+        self.epoch = epoch
+        self.config = config or UdpConfig()
+        self.on_message = on_message
+        self.on_raw: Optional[Callable[[int, bytes], None]] = None
+        self._sock = sock
+        self._peers = peers
+        self._send_channels: Dict[int, _SendChannel] = {}
+        self._recv_channels: Dict[int, _RecvChannel] = {}
+        self._reassembler = Reassembler()
+        self._next_msg_id = 0
+        self._alive = True
+        #: Per-destination frames awaiting the end-of-tick bundle flush.
+        self._out: Dict[int, List[Frame]] = {}
+        self._flush_scheduled: Set[int] = set()
+        self._ack_pending: Dict[int, int] = {}
+        self._ack_timers: Dict[int, Any] = {}
+        # Wire counters (same keys as the sim transport, plus datagrams).
+        self.msgs_sent = 0
+        self.bytes_sent = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.msgs_received = 0
+        self.retransmits = 0
+        self.acks_pure = 0
+        self.acks_coalesced = 0
+        self.acks_piggybacked = 0
+        self.datagrams_sent = 0
+        self.datagrams_received = 0
+        self.datagram_bytes_sent = 0
+        self.send_errors = 0
+        self.loop.add_reader(self._sock.fileno(), self._on_readable)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, dst_site: int, data: bytes,
+             piggyback: bool = False) -> Promise:
+        """Queue ``data`` for reliable FIFO delivery to ``dst_site``.
+
+        Returns a promise resolved when every fragment has been
+        acknowledged, rejected if the channel is torn down first.
+        ``piggyback`` is accepted for API parity with the simulator
+        transport (there is no hardware-broadcast fast path on real UDP).
+        """
+        if not self._alive:
+            promise = Promise(label="send-on-dead-transport")
+            promise.reject(SiteDown(f"site {self.site_id} is down"))
+            return promise
+        channel = self._send_channels.setdefault(
+            dst_site, _SendChannel(self.config.rto))
+        msg_id = self._next_msg_id
+        self._next_msg_id += 1
+        chunks = fragment(data, self.config.mtu)
+        frames = []
+        for index, chunk in enumerate(chunks):
+            frames.append(
+                Frame(
+                    kind=KIND_DATA,
+                    src_site=self.site_id,
+                    dst_site=dst_site,
+                    epoch=self.epoch,
+                    seq=channel.next_seq,
+                    msg_id=msg_id,
+                    frag_index=index,
+                    frag_total=len(chunks),
+                    payload=chunk,
+                    cheap=piggyback,
+                )
+            )
+            channel.next_seq += 1
+        promise = Promise(label=f"send:{self.site_id}->{dst_site}:{msg_id}")
+        channel.msg_done[msg_id] = (frames[-1].seq, promise)
+        self.scheduler.trace.bump("transport.messages")
+        self.scheduler.trace.bump("transport.bytes", len(data))
+        self.msgs_sent += 1
+        self.bytes_sent += len(data)
+        for frame in frames:
+            if len(channel.unacked) < self.config.window:
+                self._transmit(channel, frame)
+            else:
+                channel.backlog.append(frame)
+        return promise
+
+    def send_raw(self, dst_site: int, payload: bytes) -> None:
+        """Fire-and-forget datagram (heartbeats): no seq, no retransmit."""
+        if not self._alive:
+            return
+        frame = Frame(
+            kind=KIND_RAW,
+            src_site=self.site_id,
+            dst_site=dst_site,
+            epoch=self.epoch,
+            payload=payload,
+        )
+        self._enqueue(dst_site, frame)
+
+    def _transmit(self, channel: _SendChannel, frame: Frame) -> None:
+        channel.unacked[frame.seq] = frame
+        channel.sent_at[frame.seq] = self.scheduler.now
+        self._enqueue(frame.dst_site, frame)
+        self._arm_retransmit(channel, frame.dst_site)
+
+    # -- datagram bundling ----------------------------------------------
+    def _enqueue(self, dst_site: int, frame: Frame) -> None:
+        """Queue a frame for the wire; bundle per destination per tick."""
+        self._out.setdefault(dst_site, []).append(frame)
+        if not self.config.coalesce:
+            self._flush_dst(dst_site)
+        elif dst_site not in self._flush_scheduled:
+            self._flush_scheduled.add(dst_site)
+            self.loop.call_soon(self._flush_dst, dst_site)
+
+    def _flush_dst(self, dst_site: int) -> None:
+        self._flush_scheduled.discard(dst_site)
+        frames = self._out.pop(dst_site, None)
+        if not frames or not self._alive:
+            return
+        addr = self._peers.get(dst_site)
+        if addr is None:
+            return  # unknown peer: behaves like loss (retransmit retries)
+        budget = max(self.config.max_datagram,
+                     DATAGRAM_HEADER_BYTES + FRAME_WIRE_HEADER_BYTES
+                     + self.config.mtu)
+        batch: List[Frame] = []
+        size = DATAGRAM_HEADER_BYTES
+        for frame in frames:
+            frame_size = FRAME_WIRE_HEADER_BYTES + len(frame.payload)
+            if batch and (size + frame_size > budget
+                          or len(batch) >= MAX_FRAMES_PER_DATAGRAM):
+                self._send_datagram(batch, addr)
+                batch = []
+                size = DATAGRAM_HEADER_BYTES
+            batch.append(frame)
+            size += frame_size
+        if batch:
+            self._send_datagram(batch, addr)
+
+    def _send_datagram(self, frames: List[Frame], addr: Tuple[str, int]) -> None:
+        data = encode_datagram(frames)
+        try:
+            self._sock.sendto(data, addr)
+        except (BlockingIOError, InterruptedError, OSError):
+            # Treated as loss: the retransmit machinery recovers data
+            # frames; raw frames are allowed to vanish.
+            self.send_errors += 1
+            return
+        self.datagrams_sent += 1
+        self.datagram_bytes_sent += len(data)
+        self.frames_sent += len(frames)
+
+    # -- retransmission --------------------------------------------------
+    def _arm_retransmit(self, channel: _SendChannel, dst_site: int) -> None:
+        if channel.retx_timer is not None or not channel.unacked:
+            return
+        channel.retx_timer = self.scheduler.call_after(
+            channel.rto, self._retransmit, dst_site)
+
+    def _retransmit(self, dst_site: int) -> None:
+        """Probe with the oldest unacked frame only (cumulative acks)."""
+        channel = self._send_channels.get(dst_site)
+        if channel is None:
+            return
+        channel.retx_timer = None
+        if not self._alive or not channel.unacked:
+            return
+        oldest_seq = next(iter(channel.unacked))
+        sent_at = channel.sent_at.get(oldest_seq, 0.0)
+        age = self.scheduler.now - sent_at
+        if age < channel.rto * 0.9:
+            channel.retx_timer = self.scheduler.call_after(
+                channel.rto - age, self._retransmit, dst_site)
+            return
+        self.scheduler.trace.bump("transport.retransmits")
+        self.retransmits += 1
+        channel.rto = min(channel.rto * 2, self.config.max_rto)
+        frame = channel.unacked[oldest_seq]
+        channel.sent_at[oldest_seq] = self.scheduler.now
+        self._enqueue(dst_site, frame)
+        self._arm_retransmit(channel, dst_site)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def _on_readable(self) -> None:
+        while self._alive:
+            try:
+                data, _addr = self._sock.recvfrom(65535)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            self.datagrams_received += 1
+            try:
+                frames = decode_datagram(data)
+            except NetworkError:
+                self.scheduler.trace.bump("transport.bad_datagrams")
+                continue
+            for frame in frames:
+                self._on_frame(frame)
+
+    def _on_frame(self, frame: Frame) -> None:
+        if not self._alive:
+            return
+        self.frames_received += 1
+        if frame.kind == KIND_ACK:
+            self._process_ack(frame)
+        elif frame.kind == KIND_RAW:
+            if self.on_raw is not None:
+                self.on_raw(frame.src_site, frame.payload)
+        else:
+            self._process_data(frame)
+
+    def _process_ack(self, frame: Frame) -> None:
+        channel = self._send_channels.get(frame.src_site)
+        if channel is None:
+            return
+        progressed = any(s <= frame.ack for s in channel.unacked)
+        if progressed:
+            channel.rto = self.config.rto  # backoff resets on progress
+        for seq in [s for s in channel.unacked if s <= frame.ack]:
+            del channel.unacked[seq]
+            channel.sent_at.pop(seq, None)
+        for msg_id in [
+            m for m, (last_seq, _) in channel.msg_done.items()
+            if last_seq <= frame.ack
+        ]:
+            _, promise = channel.msg_done.pop(msg_id)
+            promise.resolve(None)
+        while channel.backlog and len(channel.unacked) < self.config.window:
+            self._transmit(channel, channel.backlog.popleft())
+        if channel.retx_timer is not None and not channel.unacked:
+            channel.retx_timer.cancel()
+            channel.retx_timer = None
+
+    def _process_data(self, frame: Frame) -> None:
+        channel = self._recv_channels.get(frame.src_site)
+        if channel is None or frame.epoch > channel.epoch:
+            # New incarnation of the source: reset channel state (same
+            # rules as the simulator transport).
+            channel = _RecvChannel(frame.epoch)
+            self._recv_channels[frame.src_site] = channel
+            self._reassembler.forget((frame.src_site,))
+            self._ack_pending.pop(frame.src_site, None)
+            self._cancel_ack_timer(frame.src_site)
+        elif frame.epoch < channel.epoch:
+            self.scheduler.trace.bump("transport.stale_epoch")
+            return
+        if frame.ack >= 0:
+            self._process_ack(frame)
+        if frame.seq < channel.expected:
+            self.scheduler.trace.bump("transport.duplicates")
+            self._note_ack(frame.src_site, channel.expected - 1, urgent=True)
+            return
+        channel.out_of_order.setdefault(frame.seq, frame)
+        delivered = False
+        while channel.expected in channel.out_of_order:
+            ready = channel.out_of_order.pop(channel.expected)
+            channel.expected += 1
+            delivered = True
+            whole = self._reassembler.add(
+                (frame.src_site, ready.msg_id),
+                ready.frag_index,
+                ready.frag_total,
+                ready.payload,
+            )
+            if whole is not None:
+                self.msgs_received += 1
+                self.on_message(frame.src_site, whole)
+        if delivered or frame.seq >= channel.expected:
+            self._note_ack(frame.src_site, channel.expected - 1,
+                           urgent=not delivered)
+
+    def _note_ack(self, dst_site: int, cumulative: int,
+                  urgent: bool = False) -> None:
+        if not self._alive:
+            return
+        delay = self.config.ack_delay
+        if delay <= 0 or urgent:
+            pending = self._ack_pending.pop(dst_site, None)
+            self._cancel_ack_timer(dst_site)
+            if pending is not None:
+                cumulative = max(cumulative, pending)
+            self._send_ack(dst_site, cumulative)
+            return
+        pending = self._ack_pending.get(dst_site)
+        if pending is not None:
+            self._ack_pending[dst_site] = max(pending, cumulative)
+            self.acks_coalesced += 1
+        else:
+            self._ack_pending[dst_site] = cumulative
+        if dst_site not in self._ack_timers:
+            self._ack_timers[dst_site] = self.scheduler.call_after(
+                delay, self._flush_ack, dst_site)
+
+    def _flush_ack(self, dst_site: int) -> None:
+        self._ack_timers.pop(dst_site, None)
+        cumulative = self._ack_pending.pop(dst_site, None)
+        if cumulative is not None and self._alive:
+            self._send_ack(dst_site, cumulative)
+
+    def _cancel_ack_timer(self, dst_site: int) -> None:
+        timer = self._ack_timers.pop(dst_site, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _send_ack(self, dst_site: int, cumulative: int) -> None:
+        # ACK frames enter the same per-tick bundle as data frames, so
+        # under bidirectional traffic they ride data datagrams for free.
+        out = self._out.get(dst_site)
+        if out and self.config.coalesce:
+            self.acks_piggybacked += 1
+        else:
+            self.acks_pure += 1
+        frame = Frame(
+            kind=KIND_ACK,
+            src_site=self.site_id,
+            dst_site=dst_site,
+            epoch=self.epoch,
+            ack=cumulative,
+        )
+        self._enqueue(dst_site, frame)
+
+    # ------------------------------------------------------------------
+    # Statistics / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Wire activity of this endpoint since boot."""
+        return {
+            "msgs_sent": self.msgs_sent,
+            "bytes_sent": self.bytes_sent,
+            "frames_sent": self.frames_sent,
+            "frames_received": self.frames_received,
+            "msgs_received": self.msgs_received,
+            "retransmits": self.retransmits,
+            "acks_pure": self.acks_pure,
+            "acks_coalesced": self.acks_coalesced,
+            "acks_piggybacked": self.acks_piggybacked,
+            "datagrams_sent": self.datagrams_sent,
+            "datagrams_received": self.datagrams_received,
+            "datagram_bytes_sent": self.datagram_bytes_sent,
+            "send_errors": self.send_errors,
+        }
+
+    def outbound_idle(self) -> bool:
+        """True once every frame sent so far is acked and nothing queued.
+
+        Lets a departing site linger until its peers hold everything it
+        said — exiting with unacked frames kills their retransmit path.
+        """
+        if any(self._out.values()):
+            return False
+        return all(not ch.unacked and not ch.backlog
+                   for ch in self._send_channels.values())
+
+    def reset_channel(self, dst_site: int) -> None:
+        """Abandon traffic to a (failed) site; reject its pending sends."""
+        self._out.pop(dst_site, None)
+        channel = self._send_channels.pop(dst_site, None)
+        if channel is None:
+            return
+        if channel.retx_timer is not None:
+            channel.retx_timer.cancel()
+            channel.retx_timer = None
+        for _, promise in channel.msg_done.values():
+            promise.reject(SiteDown(f"site {dst_site} declared down"))
+
+    def shutdown(self) -> None:
+        """Detach from the socket, cancel timers, reject pending sends."""
+        if not self._alive:
+            return
+        self._alive = False
+        try:
+            self.loop.remove_reader(self._sock.fileno())
+        except (ValueError, OSError):
+            pass
+        self._sock.close()
+        for dst_site in list(self._ack_timers):
+            self._cancel_ack_timer(dst_site)
+        self._ack_pending.clear()
+        self._out.clear()
+        self._flush_scheduled.clear()
+        for dst_site in list(self._send_channels):
+            self.reset_channel(dst_site)
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+
+# ----------------------------------------------------------------------
+# TCP bulk channel (join-state snapshots and streamed chunks)
+# ----------------------------------------------------------------------
+#: Connection preamble: magic (u16) + source site id (u16).
+_BULK_HELLO = struct.Struct("!HH")
+_BULK_LEN = struct.Struct("!I")
+BULK_MAGIC = 0x564C  # "VL"
+_BULK_ACK = b"\x06"
+
+
+class TcpBulk:
+    """Per-site TCP endpoint serving the bulk-channel role.
+
+    The server side accepts connections, reads length-prefixed blobs,
+    hands each to ``on_blob(src_site, data)`` and acknowledges it — so a
+    sender's promise resolves only after the receiving site's bulk
+    handler has consumed the blob, matching the simulator's semantics.
+    """
+
+    def __init__(
+        self,
+        scheduler: Any,
+        site_id: int,
+        sock: socket.socket,
+        peers: Mapping[int, Tuple[str, int]],
+        on_blob: Callable[[int, bytes], None],
+    ):
+        self.scheduler = scheduler
+        self.loop: asyncio.AbstractEventLoop = scheduler.loop
+        self.site_id = site_id
+        self._peers = peers
+        self.on_blob = on_blob
+        self._alive = True
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tasks: Set[asyncio.Task] = set()
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self.blobs_received = 0
+        self.blobs_sent = 0
+        self._track(self.loop.create_task(self._serve(sock)))
+
+    def _track(self, task: asyncio.Task) -> asyncio.Task:
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    async def _serve(self, sock: socket.socket) -> None:
+        self._server = await asyncio.start_server(self._handle, sock=sock)
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        self._writers.add(writer)
+        try:
+            hello = await reader.readexactly(_BULK_HELLO.size)
+            magic, src_site = _BULK_HELLO.unpack(hello)
+            if magic != BULK_MAGIC:
+                return
+            while self._alive:
+                header = await reader.readexactly(_BULK_LEN.size)
+                (length,) = _BULK_LEN.unpack(header)
+                data = await reader.readexactly(length)
+                if not self._alive:
+                    return
+                self.blobs_received += 1
+                self.on_blob(src_site, data)
+                writer.write(_BULK_ACK)
+                await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    # -- sending ---------------------------------------------------------
+    def open_stream(self, dst_site: int) -> "TcpBulkStream":
+        """Open a persistent connection for chunked transfers."""
+        return TcpBulkStream(self, dst_site)
+
+    def send_blob(self, dst_site: int, data: bytes) -> Promise:
+        """One-shot transfer: connect, send one blob, close."""
+        stream = self.open_stream(dst_site)
+        promise = stream.send(data)
+        promise.add_done_callback(lambda _p: stream.close())
+        return promise
+
+    def shutdown(self) -> None:
+        """Close the server, every open connection and worker task."""
+        if not self._alive:
+            return
+        self._alive = False
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._writers):
+            writer.close()
+        self._writers.clear()
+        for task in list(self._tasks):
+            task.cancel()
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def outstanding_tasks(self) -> int:
+        """Worker tasks not yet finished (teardown audit)."""
+        return len(self._tasks)
+
+
+class TcpBulkStream:
+    """Client side of one bulk connection; sequential chunk sends.
+
+    Each :meth:`send` resolves once the receiver has acknowledged the
+    chunk (its bulk handler ran).  After :meth:`close`, in-flight chunks
+    are abandoned — connection-reset semantics, matching
+    :class:`repro.runtime.site.SimBulkStream`.
+    """
+
+    def __init__(self, bulk: TcpBulk, dst_site: int):
+        self.bulk = bulk
+        self.dst_site = dst_site
+        self._lock = asyncio.Lock()
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._closed = False
+
+    def send(self, data: bytes) -> Promise:
+        promise = Promise(
+            label=f"bulk:{self.bulk.site_id}->{self.dst_site}")
+        if self._closed or not self.bulk.alive:
+            promise.reject(SiteDown(f"bulk stream to {self.dst_site} closed"))
+            return promise
+        self.bulk._track(self.bulk.loop.create_task(
+            self._do_send(bytes(data), promise)))
+        return promise
+
+    async def _do_send(self, data: bytes, promise: Promise) -> None:
+        try:
+            async with self._lock:
+                if self._closed:
+                    raise ConnectionResetError("stream closed")
+                if self._writer is None:
+                    addr = self.bulk._peers.get(self.dst_site)
+                    if addr is None:
+                        raise ConnectionRefusedError(
+                            f"no bulk endpoint for site {self.dst_site}")
+                    self._reader, self._writer = await asyncio.open_connection(
+                        addr[0], addr[1])
+                    self._writer.write(
+                        _BULK_HELLO.pack(BULK_MAGIC, self.bulk.site_id))
+                self._writer.write(_BULK_LEN.pack(len(data)))
+                self._writer.write(data)
+                await self._writer.drain()
+                await self._reader.readexactly(len(_BULK_ACK))
+            self.bulk.blobs_sent += 1
+            promise.resolve(None)
+        except asyncio.CancelledError:
+            if not promise.done:
+                promise.reject(SiteDown("bulk channel shut down"))
+            raise
+        except Exception as err:  # noqa: BLE001 - any socket failure = reset
+            if not promise.done:
+                promise.reject(SiteDown(f"bulk stream failed: {err!r}"))
+
+    def close(self) -> None:
+        self._closed = True
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+            self._reader = None

@@ -6,6 +6,15 @@ store is intact but all processes are gone (the recovery manager restarts
 registered programs).  The :class:`Cluster` owns the LAN, the bulk
 channel, the per-site stable stores and the program registry — everything
 that outlives any individual site incarnation.
+
+:class:`BaseSite` carries everything that is *driver-independent*:
+process hosting and the handler plumbing for the three inbound paths
+(ordered messages, raw datagrams, bulk blobs).  :class:`Site` adds the
+simulator specifics (modeled CPU, the simulated LAN transport, the
+simulated bulk channel); the asyncio driver's site
+(:class:`repro.runtime.asyncio_driver.NetSite`) adds real sockets
+instead.  The kernel sees only the shared surface — see
+:mod:`repro.runtime.driver`.
 """
 
 from __future__ import annotations
@@ -13,11 +22,12 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import IsisError, SiteDown
-from ..net.bulk import BulkChannel, BulkConfig
+from ..net.bulk import BulkChannel, BulkConfig, BulkStream
 from ..net.lan import Lan, LanConfig
 from ..net.transport import Transport
 from ..sim.core import Simulator
 from ..sim.cpu import Cpu
+from ..sim.tasks import Promise
 from .process import IsisProcess
 from .program import ProgramRegistry
 from .stable import StableStore
@@ -26,70 +36,41 @@ from .stable import StableStore
 KERNEL_LOCAL_ID = 0
 
 
-class Site:
-    """One computing site: CPU, transport endpoint, hosted processes."""
+class BaseSite:
+    """Driver-independent site surface: processes and inbound handlers."""
 
-    def __init__(self, cluster: "Cluster", site_id: int):
-        self.cluster = cluster
-        self.sim: Simulator = cluster.sim
+    def __init__(self, site_id: int):
         self.site_id = site_id
         self.incarnation = -1  # becomes 0 on first boot
-        self.cpu = Cpu(self.sim, name=f"cpu{site_id}")
-        self.stable: StableStore = cluster.stable_store(site_id)
         self.processes: Dict[int, IsisProcess] = {}
-        self.transport: Optional[Transport] = None
         self.up = False
         self._next_local_id = KERNEL_LOCAL_ID + 1
         self._message_handler: Optional[Callable[[int, bytes], None]] = None
-        self._boot_hooks: List[Callable[["Site"], None]] = []
-        self._crash_hooks: List[Callable[["Site"], None]] = []
+        self._raw_handler: Optional[Callable[[int, bytes], None]] = None
+        self._bulk_handler: Optional[Callable[[int, bytes], None]] = None
+        self._boot_hooks: List[Callable[["BaseSite"], None]] = []
+        self._crash_hooks: List[Callable[["BaseSite"], None]] = []
 
-    # -- lifecycle ---------------------------------------------------------
-    def on_boot(self, hook: Callable[["Site"], None]) -> None:
+    # -- lifecycle hooks ---------------------------------------------------
+    def on_boot(self, hook: Callable[["BaseSite"], None]) -> None:
         """Run ``hook(site)`` at every boot (the core layer installs its
         protocols process through this)."""
         self._boot_hooks.append(hook)
 
-    def on_crash(self, hook: Callable[["Site"], None]) -> None:
+    def on_crash(self, hook: Callable[["BaseSite"], None]) -> None:
         self._crash_hooks.append(hook)
 
-    def boot(self) -> None:
-        """Start (or restart) the site with a fresh incarnation."""
-        if self.up:
-            raise IsisError(f"site {self.site_id} is already up")
+    def _reset_for_boot(self) -> None:
         self.incarnation += 1
         if self.incarnation > 0xFF:
             raise IsisError(f"site {self.site_id} exceeded 255 incarnations")
         self.processes = {}
         self._next_local_id = KERNEL_LOCAL_ID + 1
-        self.transport = Transport(
-            self.sim,
-            self.cluster.lan,
-            self.site_id,
-            epoch=self.incarnation,
-            cpu=self.cpu,
-            on_message=self._on_transport_message,
-        )
-        self.up = True
-        self.sim.trace.log("site.boot", (self.site_id, self.incarnation))
-        for hook in self._boot_hooks:
-            hook(self)
 
-    def crash(self) -> None:
-        """Fail-stop the whole site: all processes die, the NIC goes dark."""
-        if not self.up:
-            return
-        self.up = False
-        self.sim.trace.log("site.crash", (self.site_id, self.incarnation))
-        for process in list(self.processes.values()):
-            process.kill()
-        self.processes = {}
-        if self.transport is not None:
-            self.transport.shutdown()
-            self.transport = None
+    def _clear_handlers(self) -> None:
         self._message_handler = None
-        for hook in self._crash_hooks:
-            hook(self)
+        self._raw_handler = None
+        self._bulk_handler = None
 
     # -- processes ----------------------------------------------------------
     def spawn_process(self, name: str, local_id: Optional[int] = None) -> IsisProcess:
@@ -112,6 +93,89 @@ class Site:
     def process_by_id(self, local_id: int) -> Optional[IsisProcess]:
         return self.processes.get(local_id)
 
+    # -- inbound handler plumbing -------------------------------------------
+    def set_message_handler(self, handler: Callable[[int, bytes], None]) -> None:
+        """Install the kernel's handler for inbound transport messages."""
+        self._message_handler = handler
+
+    def set_raw_handler(self, handler: Callable[[int, bytes], None]) -> None:
+        """Install the kernel's handler for inbound raw datagrams."""
+        self._raw_handler = handler
+
+    def set_bulk_handler(self, handler: Callable[[int, bytes], None]) -> None:
+        """Install the kernel's handler for inbound bulk blobs."""
+        self._bulk_handler = handler
+
+    def _on_transport_message(self, src_site: int, data: bytes) -> None:
+        if self._message_handler is not None:
+            self._message_handler(src_site, data)
+        else:
+            self._note_dropped_no_kernel()
+
+    def _on_transport_raw(self, src_site: int, payload: bytes) -> None:
+        if self._raw_handler is not None:
+            self._raw_handler(src_site, payload)
+
+    def deliver_bulk(self, src_site: int, data: bytes) -> None:
+        """A completed bulk transfer arrived (driver-internal use)."""
+        if self._bulk_handler is not None:
+            self._bulk_handler(src_site, data)
+
+    def _note_dropped_no_kernel(self) -> None:  # pragma: no cover - hook
+        pass
+
+
+class Site(BaseSite):
+    """One computing site: CPU, transport endpoint, hosted processes."""
+
+    def __init__(self, cluster: "Cluster", site_id: int):
+        super().__init__(site_id)
+        self.cluster = cluster
+        self.sim: Simulator = cluster.sim
+        self.cpu = Cpu(self.sim, name=f"cpu{site_id}")
+        self.stable: StableStore = cluster.stable_store(site_id)
+        self.transport: Optional[Transport] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def boot(self) -> None:
+        """Start (or restart) the site with a fresh incarnation."""
+        if self.up:
+            raise IsisError(f"site {self.site_id} is already up")
+        self._reset_for_boot()
+        self.transport = Transport(
+            self.sim,
+            self.cluster.lan,
+            self.site_id,
+            epoch=self.incarnation,
+            cpu=self.cpu,
+            on_message=self._on_transport_message,
+        )
+        self.transport.on_raw = self._on_transport_raw
+        self.up = True
+        self.sim.trace.log("site.boot", (self.site_id, self.incarnation))
+        for hook in self._boot_hooks:
+            hook(self)
+
+    def crash(self) -> None:
+        """Fail-stop the whole site: all processes die, the NIC goes dark."""
+        if not self.up:
+            return
+        self.up = False
+        self.sim.trace.log("site.crash", (self.site_id, self.incarnation))
+        for process in list(self.processes.values()):
+            process.kill()
+        self.processes = {}
+        if self.transport is not None:
+            self.transport.shutdown()
+            self.transport = None
+        self._clear_handlers()
+        for hook in self._crash_hooks:
+            hook(self)
+
+    def _note_dropped_no_kernel(self) -> None:
+        self.sim.trace.bump("site.dropped.nokernel")
+
+    # -- processes ----------------------------------------------------------
     def run_program(self, program: str, *args: Any, **kwargs: Any) -> IsisProcess:
         """Instantiate a registered program as a new process (rexec)."""
         factory = self.cluster.programs.lookup(program)
@@ -120,16 +184,6 @@ class Site:
         return process
 
     # -- networking ----------------------------------------------------------
-    def set_message_handler(self, handler: Callable[[int, bytes], None]) -> None:
-        """Install the kernel's handler for inbound transport messages."""
-        self._message_handler = handler
-
-    def _on_transport_message(self, src_site: int, data: bytes) -> None:
-        if self._message_handler is not None:
-            self._message_handler(src_site, data)
-        else:
-            self.sim.trace.bump("site.dropped.nokernel")
-
     def send_bytes(self, dst_site: int, data: bytes,
                    piggyback: bool = False):
         """Reliable FIFO send to another site (kernel use)."""
@@ -137,9 +191,83 @@ class Site:
             raise SiteDown(f"site {self.site_id} is down")
         return self.transport.send(dst_site, data, piggyback=piggyback)
 
+    def send_raw(self, dst_site: int, payload: bytes) -> None:
+        """Fire-and-forget datagram (heartbeats); silent no-op when down."""
+        if self.up and self.transport is not None:
+            self.transport.send_raw(dst_site, payload)
+
+    # -- bulk channel ---------------------------------------------------------
+    def send_bulk(self, dst_site: int, data: bytes) -> Promise:
+        """Ship a large blob over the TCP-like bulk channel.
+
+        Resolves once the receiving site's bulk handler has consumed the
+        blob; rejects with :class:`SiteDown` if either endpoint crashes
+        before the stream completes (TCP reset).
+        """
+        dst = self.cluster.sites.get(dst_site)
+        if dst is None or not dst.up:
+            promise = Promise(label=f"bulk-to-down-site:{dst_site}")
+            promise.reject(SiteDown(f"site {dst_site} down"))
+            return promise
+        promise = self.cluster.bulk.transfer(
+            self.site_id, dst_site, data, self.cpu, dst.cpu)
+
+        def arrived(p: Promise) -> None:
+            if p.rejected:
+                return
+            target = self.cluster.sites.get(dst_site)
+            if target is not None:
+                target.deliver_bulk(self.site_id, p.value)
+
+        promise.add_done_callback(arrived)
+        return promise
+
+    def open_bulk_stream(self, dst_site: int) -> Optional["SimBulkStream"]:
+        """Open a persistent bulk connection (chunked state transfer).
+
+        Returns ``None`` when the destination is unreachable.  Chunk
+        sends resolve once the receiver's bulk handler has consumed the
+        chunk; after :meth:`SimBulkStream.close`, in-flight chunks are
+        dropped without delivery (connection reset semantics).
+        """
+        dst = self.cluster.sites.get(dst_site)
+        if dst is None or not dst.up:
+            return None
+        conn = self.cluster.bulk.stream(
+            self.site_id, dst_site, self.cpu, dst.cpu)
+        return SimBulkStream(self, dst_site, conn)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "up" if self.up else "down"
         return f"<Site {self.site_id} inc={self.incarnation} {state}>"
+
+
+class SimBulkStream:
+    """Driver-side wrapper of a :class:`BulkStream`: delivery + reset."""
+
+    __slots__ = ("site", "dst_site", "_conn", "_closed")
+
+    def __init__(self, site: Site, dst_site: int, conn: BulkStream):
+        self.site = site
+        self.dst_site = dst_site
+        self._conn = conn
+        self._closed = False
+
+    def send(self, data: bytes) -> Promise:
+        promise = self._conn.send(data)
+
+        def arrived(p: Promise) -> None:
+            if p.rejected or self._closed:
+                return  # reset connections deliver nothing
+            target = self.site.cluster.sites.get(self.dst_site)
+            if target is not None:
+                target.deliver_bulk(self.site.site_id, p.value)
+
+        promise.add_done_callback(arrived)
+        return promise
+
+    def close(self) -> None:
+        self._closed = True
 
 
 class Cluster:

@@ -4,6 +4,17 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.msg import Address, Message
+from repro.msg.fields import decode_have_vector, encode_have_vector
+from repro.net.packet import (
+    KIND_ACK,
+    KIND_DATA,
+    KIND_RAW,
+    Frame,
+    decode_datagram,
+    decode_frame,
+    encode_datagram,
+    encode_frame,
+)
 
 addresses = st.builds(
     Address,
@@ -66,6 +77,142 @@ def test_size_bytes_matches_encoding(fields):
     for name, value in fields.items():
         msg[name] = value
     assert msg.size_bytes == len(msg.encode())
+
+
+# ----------------------------------------------------------------------
+# Kernel envelope kinds (tree dissemination / aggregated stability /
+# batched flush reports): built exactly as the kernel builds them, they
+# must survive encode/decode with every nested codec intact.
+# ----------------------------------------------------------------------
+
+inner_fields = st.dictionaries(
+    st.text(min_size=1, max_size=16), scalars, max_size=6)
+
+have_vectors = st.dictionaries(
+    st.integers(0, 10_000), st.integers(0, 2**32), max_size=16)
+
+floors = st.tuples(st.integers(0, 2**31), st.integers(0, 2**31))
+
+
+def _message(fields):
+    msg = Message()
+    for name, value in fields.items():
+        msg[name] = value
+    return msg
+
+
+@given(have_vectors)
+def test_have_vector_roundtrip(have):
+    assert decode_have_vector(encode_have_vector(have)) == have
+
+
+@given(gid=addresses, view=st.integers(0, 2**31), root=st.integers(0, 0xFFFF),
+       tid=st.integers(1, 2**31), fields=inner_fields)
+def test_tree_wrapper_roundtrip(gid, view, root, tid, fields):
+    """``g.tr``: relay wrapper around an encoded inner envelope."""
+    inner = _message(fields)
+    wrapper = Message(_proto="g.tr", gid=gid, view=view, root=root,
+                      tid=tid, inner=inner.encode())
+    decoded = Message.decode(wrapper.encode())
+    assert decoded["_proto"] == "g.tr"
+    assert decoded["gid"] == gid
+    assert (decoded["view"], decoded["root"], decoded["tid"]) == \
+        (view, root, tid)
+    relayed = Message.decode(bytes(decoded["inner"]))
+    assert relayed.fields() == _normalize(inner.fields())
+
+
+@given(gid=addresses, stab_view=st.integers(0, 2**31), have=have_vectors,
+       n=st.integers(1, 0xFFFF), floor=floors)
+def test_stability_up_roundtrip(gid, stab_view, have, n, floor):
+    """``g.stab.up``: aggregated subtree report (have-vector nested)."""
+    note = Message(_proto="g.stab.up", gid=gid, stab_view=stab_view,
+                   have_b=encode_have_vector(have), n=n, df=list(floor))
+    decoded = Message.decode(note.encode())
+    assert decoded["_proto"] == "g.stab.up"
+    assert decoded["stab_view"] == stab_view
+    assert decode_have_vector(bytes(decoded["have_b"])) == have
+    assert int(decoded["n"]) == n
+    df = decoded["df"]
+    assert (df[0], df[1]) == floor
+
+
+@given(gid=addresses, stab_view=st.integers(0, 2**31), stable=have_vectors,
+       floor=floors)
+def test_stability_dn_roundtrip(gid, stab_view, stable, floor):
+    """``g.stab.dn``: the root's stable cut relayed down the tree."""
+    note = Message(_proto="g.stab.dn", gid=gid, stab_view=stab_view,
+                   stable_b=encode_have_vector(stable), df=list(floor))
+    decoded = Message.decode(note.encode())
+    assert decoded["_proto"] == "g.stab.dn"
+    assert decoded["stab_view"] == stab_view
+    assert decode_have_vector(bytes(decoded["stable_b"])) == stable
+    df = decoded["df"]
+    assert (df[0], df[1]) == floor
+
+
+@given(gid=addresses, root=st.integers(0, 0xFFFF),
+       reports=st.lists(
+           st.tuples(st.integers(0, 0xFFFF), inner_fields), max_size=5))
+def test_flush_okb_roundtrip(gid, root, reports):
+    """``g.fl.okb``: batched pre-reports, each an encoded Message."""
+    raw_reports = [(src, _message(fields).encode())
+                   for src, fields in reports]
+    batch = Message(_proto="g.fl.okb", gid=gid, root=root,
+                    reports=raw_reports)
+    decoded = Message.decode(batch.encode())
+    assert decoded["_proto"] == "g.fl.okb"
+    assert decoded["root"] == root
+    assert len(decoded["reports"]) == len(reports)
+    for (src, fields), got in zip(reports, decoded["reports"]):
+        assert got[0] == src
+        report = Message.decode(bytes(got[1]))
+        assert report.fields() == _normalize(_message(fields).fields())
+
+
+# ----------------------------------------------------------------------
+# Binary frame codec (the asyncio/UDP driver's wire format).
+# ----------------------------------------------------------------------
+
+frames = st.builds(
+    Frame,
+    kind=st.sampled_from([KIND_DATA, KIND_ACK, KIND_RAW]),
+    src_site=st.integers(0, 0xFFFF),
+    dst_site=st.integers(0, 0xFFFF),
+    epoch=st.integers(0, 0xFFFF),
+    seq=st.integers(0, 2**32 - 1),
+    ack=st.integers(-(2**31), 2**31 - 1),
+    msg_id=st.integers(0, 2**32 - 1),
+    frag_index=st.integers(0, 0xFFFF),
+    frag_total=st.integers(1, 0xFFFF),
+    payload=st.binary(max_size=256),
+    cheap=st.booleans(),
+)
+
+
+def _same_frame(a: Frame, b: Frame) -> bool:
+    return (a.kind == b.kind and a.src_site == b.src_site
+            and a.dst_site == b.dst_site and a.epoch == b.epoch
+            and a.seq == b.seq and a.ack == b.ack and a.msg_id == b.msg_id
+            and a.frag_index == b.frag_index and a.frag_total == b.frag_total
+            and a.payload == b.payload and a.cheap == b.cheap)
+
+
+@given(frames)
+def test_frame_wire_roundtrip(frame):
+    buf = encode_frame(frame)
+    decoded, offset = decode_frame(buf)
+    assert offset == len(buf)
+    assert _same_frame(decoded, frame)
+
+
+@given(st.lists(frames, min_size=1, max_size=8))
+@settings(max_examples=50)
+def test_datagram_roundtrip(bundle):
+    decoded = decode_datagram(encode_datagram(bundle))
+    assert len(decoded) == len(bundle)
+    for got, sent in zip(decoded, bundle):
+        assert _same_frame(got, sent)
 
 
 def _normalize(fields):
