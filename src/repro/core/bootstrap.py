@@ -15,6 +15,7 @@ from ..net.bulk import BulkConfig
 from ..net.lan import LanConfig
 from ..runtime.process import IsisProcess
 from ..runtime.site import Cluster, Site
+from ..runtime.stable import StorageFaults
 from ..sim.core import Simulator
 from .groups import Isis
 from .kernel import IsisConfig, ProtocolsProcess
@@ -31,11 +32,13 @@ class IsisCluster:
         bulk_config: Optional[BulkConfig] = None,
         isis_config: Optional[IsisConfig] = None,
         boot: bool = True,
+        storage_faults: Optional[StorageFaults] = None,
     ):
         self.sim = Simulator(seed=seed)
         self.cluster = Cluster(self.sim, n_sites=n_sites,
                                lan_config=lan_config,
-                               bulk_config=bulk_config)
+                               bulk_config=bulk_config,
+                               storage_faults=storage_faults)
         self.config = isis_config or IsisConfig()
         self._genesis_done = False
         self._all_sites = list(range(n_sites))

@@ -352,10 +352,16 @@ class GroupEngine:
         user["_view_id"] = env["view"]
         user["_entry"] = env["entry"]
         self.sim.trace.bump("deliver.group")
+        if self.kernel.wal is not None:
+            self.kernel.wal.note_deliver(self, env, user)
         if self.gated:
             self._gate_queue.append(user)
             return
         self.kernel.deliver_to_local_members(self, user)
+        if self.kernel.wal is not None:
+            # After the dispatch: a periodic-checkpoint snapshot must
+            # queue behind the delivery its position already counts.
+            self.kernel.wal.maybe_checkpoint(self)
 
     def release_gate(self) -> None:
         """State transfer finished: deliver everything that queued up."""
@@ -861,13 +867,15 @@ class GroupEngine:
         for ready in self.total.force_order(msg["ab_order"]):
             self.deliver_env(ready)
         # 3. Deliver GBCAST / configuration payloads.
-        for payload in event.get("payloads", []):
+        for idx, payload in enumerate(event.get("payloads", [])):
             user = payload["m"].copy()
             user["_group"] = self.gid
             user["_view_id"] = new_view.view_id
             user["_entry"] = payload["entry"]
             user["_gb_kind"] = payload["kind"]
             self.sim.trace.bump("deliver.gbcast")
+            if self.kernel.wal is not None:
+                self.kernel.wal.note_gbcast(self, new_view.view_id, idx, user)
             if self.gated:
                 self._gate_queue.append(user)
             else:

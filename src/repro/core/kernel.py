@@ -49,6 +49,7 @@ from .shards import (
     shard_of,
 )
 from .view import View
+from .wal import WalManager
 
 #: Entry number reserved for pg_kill (the "send UNIX signal" of Table I).
 KILL_ENTRY = 255
@@ -171,6 +172,20 @@ class IsisConfig:
     #: dirty groups of each shard, so thousands of idle groups cost
     #: nothing per tick.  Purely kernel-local: no wire impact.
     kernel_shards: int = 8
+    #: Write-ahead delivery logging (§5 recovery).  Off by default: the
+    #: hot path gains no disk events and trajectories are identical to
+    #: the crash-stop system.  On, every group delivery and installed
+    #: view appends a checksummed record to the site's stable store, so
+    #: a restarted site can rejoin with log-assisted state transfer and
+    #: a total failure can be recovered from the best surviving log.
+    durability: bool = False
+    #: Checkpoint a group after this many logged deliveries since the
+    #: last checkpoint (0 disables the count trigger; stability trims
+    #: still drive checkpoints via ``wal_trim_min``).
+    wal_checkpoint_every: int = 200
+    #: Minimum deliveries since the last checkpoint before a stability
+    #: trim opportunistically checkpoints too.
+    wal_trim_min: int = 16
 
 
 # WaitIndex / WaiterKey live in :mod:`repro.core.shards` (the sharded
@@ -181,7 +196,7 @@ class IsisConfig:
 class _JoinState:
     __slots__ = ("process", "gid", "credentials", "promise", "timer",
                  "welcomed", "transfer_timer", "tried", "stream_xid",
-                 "stream_buf")
+                 "stream_buf", "hint")
 
     def __init__(self, process: IsisProcess, gid: Address, credentials: Any,
                  promise: Promise):
@@ -197,6 +212,8 @@ class _JoinState:
         #: Streaming state transfer reassembly (fast_flush).
         self.stream_xid: Optional[int] = None
         self.stream_buf: List[bytes] = []
+        #: Rejoin position from our replayed WAL: (view, delivered enc).
+        self.hint: Optional[Tuple[int, bytes]] = None
 
 
 class ProtocolsProcess:
@@ -290,6 +307,14 @@ class ProtocolsProcess:
         self.view_hooks: List[Callable] = []
         self.site_view_hooks: List[Callable] = []
         self._services: Dict[str, Callable[[int, Message], None]] = {}
+        #: Write-ahead delivery log; ``None`` keeps every hot-path hook
+        #: a no-op so default trajectories match the crash-stop system.
+        self.wal: Optional[WalManager] = (
+            WalManager(self) if self.config.durability else None)
+        #: Rejoin positions piggybacked on ``g.join``, held at the
+        #: coordinator/source site until the admitting flush ships state.
+        self._join_hints: Dict[Tuple[Address, Address],
+                               Tuple[int, bytes]] = {}
         self._stability_timer: Optional[Timer] = None
         self._schedule_stability()
         self.heartbeat.start()
@@ -670,6 +695,11 @@ class ProtocolsProcess:
         if (joiners and event.get("transfer")
                 and source is not None and source.site == self.site_id):
             self._send_state(engine, source, joiners)
+        # Stale rejoin hints (transfer-less admission, or a source at
+        # another site consumed its own copy) must not leak.
+        if self._join_hints:
+            for joiner in joiners:
+                self._join_hints.pop((gid, joiner.process()), None)
         # A member removed in this view dies with its snapshot stream.
         for member in removed:
             self._abort_state_stream(engine.gid, member.process())
@@ -681,6 +711,11 @@ class ProtocolsProcess:
             if session is not None and reply_to is not None \
                     and reply_to.site == self.site_id:
                 self.sessions.on_dispatched(session, list(new_view.members))
+        # The WAL's view record goes in *after* _send_state built any
+        # log suffix: the suffix cut then ends exactly at the V/V+1
+        # boundary the joiner resumes from.
+        if self.wal is not None:
+            self.wal.note_view(engine, new_view)
         for hook in self.view_hooks:
             hook(engine, old_view, new_view, event)
 
@@ -802,6 +837,8 @@ class ProtocolsProcess:
         self.engines[gid] = engine
         self._note_engine(gid)
         view = engine.create(process.address)
+        if self.wal is not None:
+            self.wal.arm_create(engine, process, name)
         self.contact_cache[gid] = self.site_id
         self._watch_member(engine, process.address)
         sv = self.site_view
@@ -838,6 +875,10 @@ class ProtocolsProcess:
         key = gid.process()
         promise = Promise(label=f"pg_join({gid})")
         state = _JoinState(process, key, credentials, promise)
+        if self.wal is not None and key not in self.engines:
+            # A true rejoin (no live engine here): offer our replayed
+            # log position so the source can ship just the suffix.
+            state.hint = self.wal.rejoin_hint(key)
         self._joins[key] = state
         # Gate deliveries to the joiner until its state arrives.
         self._awaiting_state.setdefault(process.address.process(), [])
@@ -856,11 +897,15 @@ class ProtocolsProcess:
             state.tried.clear()
             contact = cached
         state.tried.add(contact)
-        self.send_to_site(contact, Message(
+        request = Message(
             _proto="g.join", gid=state.gid,
             joiner=state.process.address.process(),
             cred=state.credentials,
-        ))
+        )
+        if state.hint is not None:
+            request["wal_view"] = state.hint[0]
+            request["wal_dlv"] = state.hint[1]
+        self.send_to_site(contact, request)
         state.timer = self.sim.call_after(
             self.config.join_retry, self._send_join_request, state)
 
@@ -890,6 +935,9 @@ class ProtocolsProcess:
                 self.send_to_site(joiner.site, Message(
                     _proto="g.join.refused", gid=gid, joiner=joiner))
                 return
+        if self.wal is not None and msg.get("wal_dlv") is not None:
+            self._join_hints[(gid.process(), joiner.process())] = (
+                msg.get("wal_view") or 0, bytes(msg["wal_dlv"]))
         engine.enqueue_reason(FlushReason(kind="join", joiner=joiner))
 
     def _on_join_refused(self, msg: Message) -> None:
@@ -927,6 +975,14 @@ class ProtocolsProcess:
         self._joins.pop(state.gid, None)
         if state.transfer_timer is not None:
             state.transfer_timer.cancel()
+        if self.wal is not None:
+            # Arm before the gate opens: the checkpoint written here
+            # captures exactly the transferred state, and the gated
+            # deliveries (already buffered as pending records) land in
+            # the log after it — replay order matches delivery order.
+            engine = self.engines.get(state.gid)
+            if engine is not None:
+                self.wal.arm_member(engine, state.process)
         self._release_gate(state.process.address, deliver=True)
         intra = self.site.cluster.lan.config.intra_site_delay
         self.sim.call_after(intra, state.promise.resolve, view)
@@ -950,16 +1006,63 @@ class ProtocolsProcess:
         process = self.site.process_by_id(source.local_id)
         if process is None or not process.alive:
             return  # the flush removing us will trigger a re-request
+        # Log-assisted sends cut *now*: the WAL advances synchronously
+        # with engine dispatch, so at view install it sits exactly on
+        # the V/V+1 boundary (note_view runs right after us, and no
+        # post-view delivery has dispatched yet).
+        pending: List[Address] = []
+        suffix_sizes: List[int] = []
+        for joiner in joiners:
+            self.sim.trace.bump("state_transfer.sent")
+            sent = self._send_log_suffix(engine, joiner)
+            if sent is None:
+                pending.append(joiner)
+            else:
+                suffix_sizes.append(sent)
+        if not pending and not suffix_sizes:
+            return
+        # The application applies a dispatched delivery only after the
+        # intra-site hand-off, so a snapshot encoded synchronously here
+        # would miss deliveries the flush cut already counted as
+        # pre-view.  Route the encode through the same cpu-submit +
+        # intra-delay path as the deliveries themselves: everything
+        # dispatched before this install is ahead of us in the queue
+        # (lands in the snapshot), everything after is behind (reaches
+        # the joiner directly in the new view).
+        intra = self.site.cluster.lan.config.intra_site_delay
+        self.site.cpu.submit(
+            self.config.local_delivery_cpu,
+            self.sim.call_after, intra,
+            self._encode_and_send_snapshot, engine, process, pending,
+            suffix_sizes)
+
+    def _encode_and_send_snapshot(self, engine: GroupEngine,
+                                  process: IsisProcess,
+                                  joiners: List[Address],
+                                  suffix_sizes: List[int]) -> None:
+        if not self.alive or not process.alive:
+            return  # the flush removing us will trigger a re-request
+        if self.engines.get(engine.gid.process()) is not engine:
+            return
         segments = {}
         for name, (encoder, _decoder) in getattr(
                 process, "xfer_segments", {}).items():
             segments[name] = list(encoder())
         payload = Message(_proto="st.data", gid=engine.gid, segments=segments)
+        if self.wal is not None:
+            # Byte-saving stats for the suffix-served joiners, now that
+            # the snapshot they avoided has a size.
+            for suffix_bytes in suffix_sizes:
+                saved = max(0, payload.size_bytes - suffix_bytes)
+                self.wal.log_assisted_saved += saved
+                self.sim.trace.bump(
+                    "transfer.log_assisted_bytes_saved", saved)
+                self.sim.trace.bump(
+                    "transfer.snapshot_bytes", payload.size_bytes)
         streaming = (self.config.fast_flush
                      and payload.size_bytes > self.config.bulk_threshold)
         data = payload.encode() if streaming else None
         for joiner in joiners:
-            self.sim.trace.bump("state_transfer.sent")
             if streaming:
                 # Chunked over the bulk channel: the group committed the
                 # new view already, and neither the source CPU nor the
@@ -972,6 +1075,33 @@ class ProtocolsProcess:
                 self.bulk_to_site(joiner.site, payload)
             else:
                 self.send_to_site(joiner.site, payload)
+
+    def _send_log_suffix(self, engine: GroupEngine,
+                         joiner: Address) -> Optional[int]:
+        """Log-assisted transfer: ship only the records the rejoining
+        site is missing, when its piggybacked position is still covered
+        by our own log.  Returns the suffix payload size, or ``None``
+        to fall back to the snapshot (durability off, no hint, or our
+        checkpoint already truncated past the joiner's position)."""
+        if self.wal is None:
+            return None
+        hint = self._join_hints.pop(
+            (engine.gid.process(), joiner.process()), None)
+        if hint is None:
+            return None
+        suffix = self.wal.build_suffix(engine.gid, hint[0], hint[1])
+        if suffix is None:
+            return None
+        payload = Message(_proto="st.data", gid=engine.gid,
+                          wal_suffix=[bytes(r) for r in suffix])
+        self.sim.trace.bump("transfer.log_assisted")
+        self.sim.trace.bump("transfer.suffix_bytes", payload.size_bytes)
+        if payload.size_bytes > self.config.bulk_threshold:
+            self.sim.trace.bump("state_transfer.bulk")
+            self.bulk_to_site(joiner.site, payload)
+        else:
+            self.send_to_site(joiner.site, payload)
+        return payload.size_bytes
 
     def _start_state_stream(self, gid: Address, joiner: Address,
                             data: bytes) -> None:
@@ -1076,11 +1206,23 @@ class ProtocolsProcess:
         if state is None:
             return
         process = state.process
-        decoders = getattr(process, "xfer_segments", {})
-        for name, blocks in msg["segments"].items():
-            entry = decoders.get(name)
-            if entry is not None:
-                entry[1]([bytes(b) for b in blocks])
+        suffix = msg.get("wal_suffix")
+        if suffix is not None and self.wal is not None:
+            # Log-assisted rejoin: rebuild the pre-crash state from our
+            # own checkpoint + replayed log, then apply the records the
+            # source says we missed.  Both replays run synchronously so
+            # the arm-time checkpoint in _finish_join sees the result.
+            self.wal.replay_to(gid, process)
+            self.wal.absorb_suffix(gid, [bytes(r) for r in suffix],
+                                   process)
+            self.wal.rejoins += 1
+            self.sim.trace.bump("recovery.rejoins")
+        else:
+            decoders = getattr(process, "xfer_segments", {})
+            for name, blocks in msg["segments"].items():
+                entry = decoders.get(name)
+                if entry is not None:
+                    entry[1]([bytes(b) for b in blocks])
         engine = self.engines.get(gid.process())
         view = engine.view if engine is not None else None
         if view is not None:
@@ -1115,6 +1257,29 @@ class ProtocolsProcess:
         engine = self.engines.get(msg["gid"].process())
         if engine is not None:
             self._send_state(engine, msg["source"], [msg["joiner"]])
+
+    # -- total-failure recovery (paper §5) ----------------------------------
+    def restore_from_wal(self, process: IsisProcess,
+                         group_name: str) -> Optional[int]:
+        """Rebuild ``process`` from this site's checkpoint + log for the
+        named group, after a *total* failure (no live member anywhere to
+        transfer state from).  Returns the number of replayed
+        deliveries, or ``None`` when this site holds no log for the
+        name.  The caller then re-creates the group under the same name;
+        sites with staler logs rejoin it through the normal join path.
+        """
+        if self.wal is None:
+            return None
+        return self.wal.restore(process, group_name)
+
+    def wal_position(self, group_name: str) -> Optional[Tuple[int, int]]:
+        """This site's logged ``(view, deliveries)`` for a named group,
+        or ``None`` when it never logged the group — the explicit
+        no-log marker the recovery poll needs (a site that never hosted
+        the group must not win the restart election with a zero)."""
+        if self.wal is None:
+            return None
+        return self.wal.logged_position(group_name)
 
     # -- leave / kill ------------------------------------------------------------
     def leave_group(self, process: IsisProcess, gid: Address) -> Promise:
@@ -1517,6 +1682,20 @@ class ProtocolsProcess:
             stability = engine.pipeline.stability
             out["stab.up_sent"] += stability.up_sent
             out["stab.dn_sent"] += stability.dn_sent
+        if self.wal is not None:
+            for key, value in self.wal.stats().items():
+                out[key] = value
+        else:
+            out["wal.appends"] = 0
+            out["wal.bytes"] = 0
+            out["wal.truncations"] = 0
+            out["wal.replayed"] = 0
+            out["checkpoint.writes"] = 0
+            out["checkpoint.bytes"] = 0
+            out["recovery.torn_tails"] = 0
+            out["recovery.rejoins"] = 0
+            out["recovery.total_restarts"] = 0
+            out["transfer.log_assisted_bytes_saved"] = 0
         if self.site.transport is not None:
             for key, value in self.site.transport.stats().items():
                 out[f"transport.{key}"] = value

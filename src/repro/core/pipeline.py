@@ -1048,6 +1048,8 @@ class StabilityStage:
             self._last_advance = engine.sim.now
             engine.sim.trace.bump("stability.trimmed", dropped)
             engine.sim.trace.bump("stability.piggyback_trimmed", dropped)
+            if self.kernel.wal is not None:
+                self.kernel.wal.note_stable_trim(engine)
 
     # -- receiver-side announcements ---------------------------------------
     def note_received(self, count: int = 1) -> None:
@@ -1244,6 +1246,8 @@ class StabilityStage:
                 self._last_advance = engine.sim.now
                 engine.sim.trace.bump("stability.trimmed", dropped)
                 engine.sim.trace.bump("stability.tree_trimmed", dropped)
+                if self.kernel.wal is not None:
+                    self.kernel.wal.note_stable_trim(engine)
         engine.prune_delivered_finals()
 
     def tree_floor(self) -> Optional[Tuple[int, int]]:
@@ -1346,6 +1350,8 @@ class StabilityStage:
         if dropped:
             self._last_advance = self.engine.sim.now
             self.engine.sim.trace.bump("stability.trimmed", dropped)
+            if self.kernel.wal is not None:
+                self.kernel.wal.note_stable_trim(self.engine)
 
     def on_new_view(self) -> None:
         self._peer_have.clear()

@@ -1,0 +1,966 @@
+"""Write-ahead delivery log: crash recovery for group state (§2.2, §5).
+
+The crash-stop model loses every delivered message a site held when it
+fails.  With ``IsisConfig.durability`` on, the kernel owns a
+:class:`WalManager` that appends a compact binary record to the site's
+:class:`~repro.runtime.stable.StableStore` for
+
+* every group delivery handed to local members (``D`` records),
+* every installed view (``V`` records), and
+* every GBCAST/configuration payload delivered at a commit (``G``
+  records),
+
+so a restarted site can rebuild exactly what it had delivered.  Three
+consumers:
+
+1. **Incarnation-bumped rejoin.**  At boot the manager replays each
+   group's log; ``pg_join`` then piggybacks the replayed position (last
+   installed view + per-origin delivered floors) on ``g.join``.  If the
+   transfer source's own log still reaches back to that position, it
+   ships only the *suffix* of records the joiner is missing instead of
+   a full snapshot — log-assisted state transfer.
+2. **Total-failure recovery.**  The recovery manager's poll compares
+   logged ``(view_id, deliveries)`` positions; the best survivor calls
+   :meth:`ProtocolsProcess.restore_from_wal` to rebuild the service
+   from its checkpoint + log before re-creating the group (paper §5,
+   the last-process-to-fail rule).
+3. **Bounded replay.**  Periodic checkpoints capture the group's
+   transfer segments plus the log position.  Truncation is
+   *two-generation*: the log is cut back to the previous checkpoint,
+   not the current one, so there is always a retention window of
+   records behind the newest checkpoint — that window is what makes a
+   crashed peer's rejoin position servable from the log.
+
+Record framing is torn-tail honest: ``uvarint(len(body)) + body +
+crc32(body)``, so replay of a log whose final record was half-written
+by a crashing disk detects the damage and discards exactly that tail.
+
+A join-time *rebase* (the fresh state transfer supersedes any pre-crash
+log) switches to a new generation-numbered log and flips the checkpoint
+blob — which names the generation — only after the new checkpoint is
+durably committed.  A crash mid-rebase therefore leaves the old
+checkpoint + old log pair intact and consistent; the half-built new
+generation is garbage-collected at the next boot.
+
+Everything here is inert when ``durability`` is off: the kernel's
+``wal`` attribute is ``None`` and no hook fires, so default trajectories
+are byte-identical to the crash-stop system (the differential oracle the
+churn property suite leans on).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from ..msg.address import ADDRESS_SIZE, Address
+from ..msg.fields import decode_uvarint, encode_uvarint
+from ..msg.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.process import IsisProcess
+    from .engine import GroupEngine
+    from .kernel import ProtocolsProcess
+
+REC_DELIVER = 1
+REC_VIEW = 2
+REC_GBCAST = 3
+
+_LOG_PREFIX = "wal/g/"
+_CK_PREFIX = "wal/ck/"
+_NAME_PREFIX = "wal/name/"
+
+
+# ----------------------------------------------------------------------
+# Record codec
+# ----------------------------------------------------------------------
+def frame_record(body: bytes) -> bytes:
+    """Length-prefix + CRC32 so replay can detect a torn tail."""
+    return (encode_uvarint(len(body)) + body
+            + zlib.crc32(body).to_bytes(4, "big"))
+
+
+def unframe_record(data: bytes) -> Optional[bytes]:
+    """Body of a framed record, or ``None`` if torn/corrupt."""
+    try:
+        length, off = decode_uvarint(data, 0)
+    except Exception:
+        return None
+    if len(data) < off + length + 4:
+        return None
+    body = data[off:off + length]
+    crc = int.from_bytes(data[off + length:off + length + 4], "big")
+    if zlib.crc32(body) != crc:
+        return None
+    return body
+
+
+def encode_deliver(view: int, origin: int, gseq: int,
+                   user_bytes: bytes) -> bytes:
+    return (bytes([REC_DELIVER]) + encode_uvarint(view)
+            + encode_uvarint(origin) + encode_uvarint(gseq)
+            + encode_uvarint(len(user_bytes)) + user_bytes)
+
+
+def encode_view(view: int, members: Tuple[Address, ...]) -> bytes:
+    out = bytearray([REC_VIEW])
+    out += encode_uvarint(view)
+    out += encode_uvarint(len(members))
+    for member in members:
+        out += member.pack()
+    return bytes(out)
+
+
+def encode_gbcast(view: int, idx: int, user_bytes: bytes) -> bytes:
+    return (bytes([REC_GBCAST]) + encode_uvarint(view)
+            + encode_uvarint(idx)
+            + encode_uvarint(len(user_bytes)) + user_bytes)
+
+
+def parse_record(body: Optional[bytes]) -> Optional[dict]:
+    """Decode a record body into a small dict (``None`` on damage)."""
+    if not body:
+        return None
+    try:
+        kind = body[0]
+        if kind == REC_DELIVER:
+            view, off = decode_uvarint(body, 1)
+            origin, off = decode_uvarint(body, off)
+            gseq, off = decode_uvarint(body, off)
+            ulen, off = decode_uvarint(body, off)
+            return {"kind": kind, "view": view, "origin": origin,
+                    "gseq": gseq, "user": body[off:off + ulen]}
+        if kind == REC_VIEW:
+            view, off = decode_uvarint(body, 1)
+            count, off = decode_uvarint(body, off)
+            members = []
+            for _ in range(count):
+                members.append(Address.unpack(body[off:off + ADDRESS_SIZE]))
+                off += ADDRESS_SIZE
+            return {"kind": kind, "view": view, "members": tuple(members)}
+        if kind == REC_GBCAST:
+            view, off = decode_uvarint(body, 1)
+            idx, off = decode_uvarint(body, off)
+            ulen, off = decode_uvarint(body, off)
+            return {"kind": kind, "view": view, "idx": idx,
+                    "user": body[off:off + ulen]}
+    except Exception:
+        return None
+    return None
+
+
+# ----------------------------------------------------------------------
+# Delivered-set codec: per-origin contiguous floor + sparse extras.
+# The two ordered queues (causal, abcast) drain one shared gseq counter
+# per origin independently, so a plain per-origin max is NOT a safe
+# floor — the set must be exact.
+# ----------------------------------------------------------------------
+def encode_delivered(delivered: Dict[int, Tuple[int, Set[int]]]) -> bytes:
+    out = bytearray(encode_uvarint(len(delivered)))
+    for origin in sorted(delivered):
+        floor, extras = delivered[origin]
+        out += encode_uvarint(origin)
+        out += encode_uvarint(floor)
+        out += encode_uvarint(len(extras))
+        prev = floor
+        for gseq in sorted(extras):
+            out += encode_uvarint(gseq - prev)
+            prev = gseq
+    return bytes(out)
+
+
+def decode_delivered(
+        data: bytes, offset: int = 0,
+) -> Tuple[Dict[int, Tuple[int, Set[int]]], int]:
+    count, off = decode_uvarint(data, offset)
+    out: Dict[int, Tuple[int, Set[int]]] = {}
+    for _ in range(count):
+        origin, off = decode_uvarint(data, off)
+        floor, off = decode_uvarint(data, off)
+        nextra, off = decode_uvarint(data, off)
+        extras: Set[int] = set()
+        prev = floor
+        for _ in range(nextra):
+            delta, off = decode_uvarint(data, off)
+            prev += delta
+            extras.add(prev)
+        out[origin] = (floor, extras)
+    return out, off
+
+
+def _delivered_add(delivered: Dict[int, Tuple[int, Set[int]]],
+                   origin: int, gseq: int) -> None:
+    floor, extras = delivered.get(origin, (0, set()))
+    if gseq <= floor or gseq in extras:
+        return
+    extras.add(gseq)
+    while floor + 1 in extras:
+        floor += 1
+        extras.discard(floor)
+    delivered[origin] = (floor, extras)
+
+
+def _delivered_covers(delivered: Dict[int, Tuple[int, Set[int]]],
+                      origin: int, gseq: int) -> bool:
+    entry = delivered.get(origin)
+    if entry is None:
+        return False
+    floor, extras = entry
+    return gseq <= floor or gseq in extras
+
+
+def _delivered_subset(small: Dict[int, Tuple[int, Set[int]]],
+                      big: Dict[int, Tuple[int, Set[int]]]) -> bool:
+    for origin, (floor, extras) in small.items():
+        for gseq in range(1, floor + 1):
+            if not _delivered_covers(big, origin, gseq):
+                return False
+        for gseq in extras:
+            if not _delivered_covers(big, origin, gseq):
+                return False
+    return True
+
+
+def _copy_delivered(
+        delivered: Dict[int, Tuple[int, Set[int]]],
+) -> Dict[int, Tuple[int, Set[int]]]:
+    return {o: (f, set(e)) for o, (f, e) in delivered.items()}
+
+
+def _covered_by(pos_view: int, pos_dlv: Dict[int, Tuple[int, Set[int]]],
+                rec: dict) -> bool:
+    """Is ``rec`` at or before the position (view, delivered-set)?
+
+    Record order in a log is monotone in view (leftovers of the old view
+    always precede the view record installing the next), so a position
+    cuts the log at a well-defined point.
+    """
+    if rec["kind"] == REC_DELIVER:
+        if rec["view"] < pos_view:
+            return True
+        return (rec["view"] == pos_view
+                and _delivered_covers(pos_dlv, rec["origin"], rec["gseq"]))
+    return rec["view"] <= pos_view
+
+
+class GroupWal:
+    """Per-group durable log state at one site."""
+
+    def __init__(self, key: str, gid: Address):
+        self.key = key
+        self.gid = gid
+        self.name: str = ""
+        #: Log generation: bumped at every join-time rebase.  The
+        #: checkpoint blob names the generation it belongs to, making
+        #: the ck-write the atomic switch between old and new log.
+        self.gen = 0
+        #: Current view position of the *live* tail of the log.
+        self.view_id = 0
+        self.members: Tuple[Address, ...] = ()
+        self.delivered: Dict[int, Tuple[int, Set[int]]] = {}
+        self.delivered_total = 0
+        #: Framed records issued to the current-generation log.
+        self.records: List[bytes] = []
+        self.base_index = 0
+        #: Index past the last append known committed on disk.
+        self.committed_abs = 0
+        #: Checkpoint position: replay = segments(ck) + records past it.
+        self.ck_view = 0
+        self.ck_delivered: Dict[int, Tuple[int, Set[int]]] = {}
+        self.ck_total = 0
+        self.ck_has_state = False
+        self.ck_segments: Dict[str, List[bytes]] = {}
+        #: Absolute log index the checkpoint was taken at.
+        self.ck_abs = 0
+        #: Log *base* position: everything the first record presumes.
+        #: Truncation is two-generation (cut to the previous checkpoint,
+        #: not the current one), so base trails ck — the retention
+        #: window that makes log-assisted rejoin useful.
+        self.base_view = 0
+        self.base_delivered: Dict[int, Tuple[int, Set[int]]] = {}
+        #: Unarmed groups (mid-join) buffer records in memory until the
+        #: transfer lands and a rebase makes the log self-contained.
+        self.armed = False
+        self.pending: List[bytes] = []
+        self.ck_inflight = False
+        #: True when this state was rebuilt from disk at boot (a usable
+        #: rejoin position until the next join rebases it).
+        self.recovered = False
+
+    def log_key(self, gen: Optional[int] = None) -> str:
+        return f"{_LOG_PREFIX}{self.key}/{self.gen if gen is None else gen}"
+
+    def abs_next(self) -> int:
+        return self.base_index + len(self.records)
+
+    def position(self) -> Tuple[int, int]:
+        """Election key: (last installed view, deliveries ever logged)."""
+        return (self.view_id, self.delivered_total)
+
+    def covered_by_ck(self, rec: dict) -> bool:
+        return _covered_by(self.ck_view, self.ck_delivered, rec)
+
+    def covered_by_base(self, rec: dict) -> bool:
+        return _covered_by(self.base_view, self.base_delivered, rec)
+
+
+class WalManager:
+    """All group WALs of one kernel incarnation, backed by the site disk."""
+
+    def __init__(self, kernel: "ProtocolsProcess"):
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.store = kernel.site.stable
+        self.groups: Dict[str, GroupWal] = {}
+        self._by_gid: Dict[Address, str] = {}
+        #: Positions as recovered at boot, frozen per group name.  The
+        #: recovery election votes with these: a winner re-creating the
+        #: group must not retroactively change the vote it already cast
+        #: (its *live* position restarts at view 1 and would make every
+        #: other contender look better mid-election).
+        self.boot_positions: Dict[str, Tuple[int, int]] = {}
+        # Observability (mirrored into kernel.stats()).
+        self.appends = 0
+        self.append_bytes = 0
+        self.truncations = 0
+        self.replayed = 0
+        self.ck_writes = 0
+        self.ck_bytes = 0
+        self.torn_tails = 0
+        self.rejoins = 0
+        self.total_restarts = 0
+        self.log_assisted_saved = 0
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Boot-time replay
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        """Rebuild in-memory WAL state from whatever the disk holds."""
+        gens: Dict[str, List[int]] = {}
+        for log_name in self.store.log_names(_LOG_PREFIX):
+            key, _, gen_s = log_name[len(_LOG_PREFIX):].rpartition("/")
+            try:
+                gens.setdefault(key, []).append(int(gen_s))
+            except ValueError:
+                continue
+        keys = set(gens)
+        keys |= {name[len(_CK_PREFIX):] for name in self.store.keys(_CK_PREFIX)}
+        for key in sorted(keys):
+            try:
+                gid = Address.unpack(bytes.fromhex(key))
+            except Exception:
+                continue
+            gw = GroupWal(key, gid)
+            ck_blob = self.store.read(_CK_PREFIX + key)
+            if ck_blob is not None:
+                self._apply_ck_blob(gw, ck_blob)
+            elif gens.get(key):
+                # No checkpoint landed before the crash: the oldest log
+                # generation is the authoritative one (a half-built
+                # rebase generation without its ck is garbage).
+                gw.gen = min(gens[key])
+            # Orphan generations (older superseded ones, or a rebase the
+            # crash interrupted before its checkpoint committed).
+            for gen in gens.get(key, []):
+                if gen != gw.gen:
+                    self.store.delete_log(gw.log_key(gen))
+            raw = self.store.read_log(gw.log_key())
+            for framed in raw:
+                rec = parse_record(unframe_record(framed))
+                if rec is None:
+                    # Torn/corrupt tail: truncate here — everything
+                    # after a damaged record is unordered garbage.
+                    self.torn_tails += 1
+                    self.sim.trace.bump("recovery.torn_tails")
+                    break
+                if gw.covered_by_base(rec):
+                    continue  # pre-base leftovers carry no information
+                gw.records.append(framed)
+                if gw.covered_by_ck(rec):
+                    gw.ck_abs = len(gw.records)
+                    continue  # retained to serve rejoining peers; the
+                    # checkpoint already captures its effect here
+                self._track(gw, rec)
+                self.replayed += 1
+                self.sim.trace.bump("wal.replayed")
+            if len(gw.records) != len(raw):
+                # Drop torn tails and pre-base leftovers from the disk
+                # log so it mirrors the in-memory record list (indexes
+                # must line up for later truncations).
+                self.store.replace_log(gw.log_key(), gw.records)
+            gw.committed_abs = len(gw.records)
+            gw.recovered = bool(gw.records) or gw.ck_view > 0
+            self.groups[key] = gw
+            self._by_gid[gid] = key
+            if gw.name and gw.view_id > 0:
+                self.boot_positions[gw.name] = gw.position()
+
+    def _apply_ck_blob(self, gw: GroupWal, blob: bytes) -> None:
+        try:
+            gen, off = decode_uvarint(blob, 0)
+            view, off = decode_uvarint(blob, off)
+            nmem, off = decode_uvarint(blob, off)
+            members = []
+            for _ in range(nmem):
+                members.append(Address.unpack(blob[off:off + ADDRESS_SIZE]))
+                off += ADDRESS_SIZE
+            delivered, off = decode_delivered(blob, off)
+            total, off = decode_uvarint(blob, off)
+            base_view, off = decode_uvarint(blob, off)
+            base_delivered, off = decode_delivered(blob, off)
+            has_state = bool(blob[off]); off += 1
+            nlen, off = decode_uvarint(blob, off)
+            name = blob[off:off + nlen].decode("utf-8"); off += nlen
+            nseg, off = decode_uvarint(blob, off)
+            segments: Dict[str, List[bytes]] = {}
+            for _ in range(nseg):
+                klen, off = decode_uvarint(blob, off)
+                seg = blob[off:off + klen].decode("utf-8"); off += klen
+                nblk, off = decode_uvarint(blob, off)
+                blocks = []
+                for _ in range(nblk):
+                    blen, off = decode_uvarint(blob, off)
+                    blocks.append(blob[off:off + blen]); off += blen
+                segments[seg] = blocks
+        except Exception:
+            self.sim.trace.bump("recovery.bad_checkpoints")
+            return
+        gw.gen = gen
+        gw.ck_view = view
+        gw.ck_delivered = delivered
+        gw.ck_total = total
+        gw.ck_has_state = has_state
+        gw.ck_segments = segments
+        gw.base_view = base_view
+        gw.base_delivered = base_delivered
+        gw.name = name
+        gw.view_id = view
+        gw.members = tuple(members)
+        gw.delivered = _copy_delivered(delivered)
+        gw.delivered_total = total
+
+    def _track(self, gw: GroupWal, rec: dict) -> None:
+        """Advance the live position by one record."""
+        if rec["kind"] == REC_VIEW:
+            gw.view_id = rec["view"]
+            gw.members = rec["members"]
+            gw.delivered = {}
+        elif rec["kind"] == REC_DELIVER:
+            if rec["view"] == gw.view_id or gw.view_id == 0:
+                _delivered_add(gw.delivered, rec["origin"], rec["gseq"])
+            gw.delivered_total += 1
+        # G records carry no position beyond their view.
+
+    # ------------------------------------------------------------------
+    # Group lookup / arming
+    # ------------------------------------------------------------------
+    def _group(self, gid: Address) -> GroupWal:
+        gid = gid.process()
+        key = self._by_gid.get(gid)
+        if key is None:
+            key = gid.pack().hex()
+            self._by_gid[gid] = key
+        gw = self.groups.get(key)
+        if gw is None:
+            gw = GroupWal(key, gid)
+            self.groups[key] = gw
+        return gw
+
+    def lookup(self, gid: Address) -> Optional[GroupWal]:
+        return self.groups.get(self._by_gid.get(gid.process(), ""))
+
+    def arm_create(self, engine: "GroupEngine", process: "IsisProcess",
+                   name: str) -> None:
+        """A group was minted here: start its log at view 1."""
+        gw = self._group(engine.gid)
+        view = engine.view
+        assert view is not None
+        gw.armed = True
+        gw.name = name or gw.name
+        self._bind_name(gw)
+        gw.view_id = view.view_id
+        gw.members = view.members
+        gw.delivered = {}
+        gw.base_view = view.view_id
+        gw.base_delivered = {}
+        self._append(gw, frame_record(encode_view(view.view_id,
+                                                  view.members)))
+        self._write_checkpoint(gw, self._segments_of(process),
+                               pos=self._pos_of(gw), old_gen=None)
+
+    def arm_member(self, engine: "GroupEngine",
+                   process: "IsisProcess") -> None:
+        """A join finished here: make the log self-contained from now.
+
+        The rebase sequence is crash-ordered: records go to a *new*
+        generation log (view boundary record, then the deliveries that
+        queued behind the joiner gate), and the checkpoint — which
+        names the new generation and captures exactly the transferred
+        state at the view boundary — flips the durable pointer.  The
+        old generation is deleted only after the checkpoint commits, so
+        a crash at any instant leaves one consistent (ck, log) pair.
+        """
+        gw = self._group(engine.gid)
+        if gw.armed:
+            return  # a second local member joined an armed group
+        view = engine.view
+        if view is None:
+            return
+        old_gen: Optional[int] = gw.gen if gw.recovered else None
+        gw.armed = True
+        gw.gen += 1
+        gw.records = []
+        gw.base_index = 0
+        gw.committed_abs = 0
+        gw.recovered = False
+        self._resolve_name(gw, engine)
+        gw.view_id = view.view_id
+        gw.members = view.members
+        gw.delivered = {}
+        gw.base_view = view.view_id
+        gw.base_delivered = {}
+        self._append(gw, frame_record(encode_view(view.view_id,
+                                                  view.members)))
+        self._write_checkpoint(gw, self._segments_of(process),
+                               pos=self._pos_of(gw), old_gen=old_gen)
+        pending, gw.pending = gw.pending, []
+        for framed in pending:
+            rec = parse_record(unframe_record(framed))
+            if rec is None:
+                continue
+            self._append(gw, framed)
+            self._track(gw, rec)
+
+    # ------------------------------------------------------------------
+    # Hot-path hooks (engine/kernel call these; all no-ops when off)
+    # ------------------------------------------------------------------
+    def note_deliver(self, engine: "GroupEngine", env: Message,
+                     user: Message) -> None:
+        gw = self._group(engine.gid)
+        framed = frame_record(encode_deliver(
+            env["view"], env["origin"], env["gseq"], user.encode()))
+        if not gw.armed:
+            gw.pending.append(framed)
+            return
+        self._append(gw, framed)
+        if env["view"] == gw.view_id or gw.view_id == 0:
+            _delivered_add(gw.delivered, env["origin"], env["gseq"])
+        gw.delivered_total += 1
+        # NOTE: the periodic-checkpoint decision is NOT taken here —
+        # the engine calls maybe_checkpoint() after it has submitted
+        # this delivery to the CPU queue, so the snapshot task lands
+        # behind it (see maybe_checkpoint).
+
+    def note_gbcast(self, engine: "GroupEngine", view_id: int, idx: int,
+                    user: Message) -> None:
+        gw = self._group(engine.gid)
+        framed = frame_record(encode_gbcast(view_id, idx, user.encode()))
+        if not gw.armed:
+            gw.pending.append(framed)
+            return
+        self._append(gw, framed)
+
+    def note_view(self, engine: "GroupEngine", view) -> None:
+        gw = self._group(engine.gid)
+        if not gw.armed:
+            return  # the arm point writes the boundary record itself
+        self._append(gw, frame_record(encode_view(view.view_id,
+                                                  view.members)))
+        gw.view_id = view.view_id
+        gw.members = view.members
+        gw.delivered = {}
+        if not gw.name:
+            self._resolve_name(gw, engine)
+
+    def note_stable_trim(self, engine: "GroupEngine") -> None:
+        """The store GC'd a delivered-everywhere prefix: good moment to
+        checkpoint (the group provably made durable progress)."""
+        gw = self.lookup(engine.gid)
+        if gw is None or not gw.armed:
+            return
+        since_ck = gw.delivered_total - gw.ck_total
+        if since_ck >= self.kernel.config.wal_trim_min:
+            self._schedule_checkpoint(gw, engine)
+
+    # ------------------------------------------------------------------
+    # Appends / checkpoints / truncation
+    # ------------------------------------------------------------------
+    def _append(self, gw: GroupWal, framed: bytes) -> None:
+        gw.records.append(framed)
+        self.appends += 1
+        self.append_bytes += len(framed)
+        self.sim.trace.bump("wal.appends")
+        self.sim.trace.bump("wal.bytes", len(framed))
+        gen = gw.gen
+        promise = self.store.append(gw.log_key(), framed)
+        promise.add_done_callback(
+            lambda p: self._note_committed(gw, gen, p))
+
+    def _note_committed(self, gw: GroupWal, gen: int, promise) -> None:
+        if gen == gw.gen and not promise.rejected:
+            gw.committed_abs += 1
+
+    def maybe_checkpoint(self, engine: "GroupEngine") -> None:
+        """Periodic-checkpoint decision, called by the engine right
+        after it dispatched a delivery.  The ordering matters: the
+        snapshot task must enter the CPU queue *behind* the delivery
+        the log position already counts, and *ahead* of any delivery
+        dispatched by a later event — which exactly describes enqueuing
+        synchronously here, in the same call stack as the dispatch."""
+        gw = self.lookup(engine.gid)
+        if gw is None or not gw.armed:
+            return
+        every = self.kernel.config.wal_checkpoint_every
+        if every > 0 and gw.delivered_total - gw.ck_total >= every:
+            self._schedule_checkpoint(gw, engine)
+
+    def _pick_state_process(self,
+                            engine: "GroupEngine") -> Optional["IsisProcess"]:
+        fallback = None
+        for member in engine.local_members():
+            process = self.kernel.site.process_by_id(member.local_id)
+            if process is None or not process.alive:
+                continue
+            if getattr(process, "xfer_segments", None):
+                return process
+            fallback = fallback or process
+        return fallback
+
+    def _pos_of(self, gw: GroupWal) -> dict:
+        return {
+            "view": gw.view_id,
+            "members": gw.members,
+            "delivered": _copy_delivered(gw.delivered),
+            "total": gw.delivered_total,
+            "abs": gw.abs_next(),
+            "gen": gw.gen,
+            # The log base this checkpoint leaves behind once its
+            # truncation runs: the *previous* checkpoint's position.
+            "base_view": gw.ck_view if gw.ck_abs else gw.base_view,
+            "base_delivered": _copy_delivered(
+                gw.ck_delivered if gw.ck_abs else gw.base_delivered),
+            "cut_abs": gw.ck_abs,
+        }
+
+    def _schedule_checkpoint(self, gw: GroupWal,
+                             engine: "GroupEngine") -> None:
+        """Checkpoint *through* the local delivery pipeline.
+
+        The log position advances when a delivery is dispatched, but the
+        application applies it only after the intra-site hand-off.  A
+        snapshot taken synchronously here would lag the log position and
+        replay would double-count the in-flight tail.  Routing the
+        snapshot through the same cpu-submit + intra-delay path as the
+        deliveries themselves guarantees the segments reflect exactly
+        the records at or before the captured position.
+        """
+        if gw.ck_inflight:
+            return
+        process = self._pick_state_process(engine)
+        if process is None:
+            return
+        gw.ck_inflight = True
+        pos = self._pos_of(gw)
+        kernel = self.kernel
+        intra = kernel.site.cluster.lan.config.intra_site_delay
+        kernel.site.cpu.submit(
+            kernel.config.local_delivery_cpu,
+            self.sim.call_after, intra,
+            self._deferred_checkpoint, gw, process, pos)
+
+    def _deferred_checkpoint(self, gw: GroupWal, process: "IsisProcess",
+                             pos: dict) -> None:
+        gw.ck_inflight = False
+        if not self.kernel.alive or not process.alive:
+            return
+        if pos["gen"] != gw.gen:
+            return  # a rebase superseded this capture
+        self._write_checkpoint(gw, self._segments_of(process), pos,
+                               old_gen=None)
+
+    def _segments_of(
+            self, process: Optional["IsisProcess"],
+    ) -> Dict[str, List[bytes]]:
+        segments: Dict[str, List[bytes]] = {}
+        if process is None:
+            return segments
+        for name, (encoder, _decoder) in getattr(
+                process, "xfer_segments", {}).items():
+            segments[name] = [bytes(b) for b in encoder()]
+        return segments
+
+    def _write_checkpoint(self, gw: GroupWal,
+                          segments: Dict[str, List[bytes]],
+                          pos: dict, old_gen: Optional[int]) -> None:
+        has_state = bool(segments)
+        blob = bytearray()
+        blob += encode_uvarint(pos["gen"])
+        blob += encode_uvarint(pos["view"])
+        blob += encode_uvarint(len(pos["members"]))
+        for member in pos["members"]:
+            blob += member.pack()
+        blob += encode_delivered(pos["delivered"])
+        blob += encode_uvarint(pos["total"])
+        blob += encode_uvarint(pos.get("base_view", 0))
+        blob += encode_delivered(pos.get("base_delivered", {}))
+        blob.append(1 if has_state else 0)
+        name_bytes = gw.name.encode("utf-8")
+        blob += encode_uvarint(len(name_bytes)) + name_bytes
+        blob += encode_uvarint(len(segments))
+        for seg, blocks in sorted(segments.items()):
+            seg_bytes = seg.encode("utf-8")
+            blob += encode_uvarint(len(seg_bytes)) + seg_bytes
+            blob += encode_uvarint(len(blocks))
+            for block in blocks:
+                blob += encode_uvarint(len(block)) + block
+        data = bytes(blob)
+        self.ck_writes += 1
+        self.ck_bytes += len(data)
+        self.sim.trace.bump("checkpoint.writes")
+        self.sim.trace.bump("checkpoint.bytes", len(data))
+        promise = self.store.write(_CK_PREFIX + gw.key, data)
+        promise.add_done_callback(
+            lambda p: self._checkpoint_committed(gw, pos, segments,
+                                                 old_gen, p))
+
+    def _checkpoint_committed(self, gw: GroupWal, pos: dict,
+                              segments: Dict[str, List[bytes]],
+                              old_gen: Optional[int], promise) -> None:
+        if promise.rejected:
+            return
+        if old_gen is not None:
+            # The rebase is durable: the superseded generation's log is
+            # now unreachable garbage.
+            self.store.delete_log(gw.log_key(old_gen))
+        if pos["gen"] != gw.gen:
+            return  # a later rebase superseded this checkpoint
+        gw.ck_view = pos["view"]
+        gw.ck_delivered = pos["delivered"]
+        gw.ck_total = pos["total"]
+        gw.ck_has_state = bool(segments)
+        gw.ck_segments = segments
+        gw.ck_abs = pos["abs"]
+        # Two-generation truncation: cut the log back to the *previous*
+        # checkpoint (pos["cut_abs"]), keeping a retention window of
+        # records behind the new one for rejoining peers.  Only the
+        # committed prefix is cut — replay dedups any overlap against
+        # the checkpoint position, so an early cut is always safe.
+        if not gw.ck_has_state:
+            return  # without state capture the full log IS the state
+        cut = min(pos["cut_abs"], gw.committed_abs)
+        if cut <= gw.base_index:
+            return
+        drop = cut - gw.base_index
+        self.store.truncate_log(gw.log_key(), drop)
+        del gw.records[:drop]
+        gw.base_index = cut
+        gw.base_view = pos["base_view"]
+        gw.base_delivered = pos["base_delivered"]
+        self.truncations += 1
+        self.sim.trace.bump("wal.truncations")
+
+    # ------------------------------------------------------------------
+    # Naming (for total-failure restore, which starts from a name)
+    # ------------------------------------------------------------------
+    def _resolve_name(self, gw: GroupWal, engine: "GroupEngine") -> None:
+        name = engine.name
+        if not name:
+            for cand, gid in self.kernel.namespace.entries().items():
+                if gid.process() == engine.gid.process():
+                    name = cand
+                    break
+        if name:
+            gw.name = name
+            self._bind_name(gw)
+
+    def _bind_name(self, gw: GroupWal) -> None:
+        if not gw.name:
+            return
+        # The name is live again at this site: the recovery-election
+        # epoch its frozen boot position served is over.
+        self.boot_positions.pop(gw.name, None)
+        key = _NAME_PREFIX + gw.name
+        old = self.store.read(key)
+        if old is not None and old.hex() != gw.key:
+            # The name now maps to a new group id (e.g. re-created after
+            # a total failure): the old log is garbage — reclaim it.
+            self._forget(old.hex())
+        self.store.write(key, bytes.fromhex(gw.key))
+
+    def _forget(self, key: str) -> None:
+        gw = self.groups.pop(key, None)
+        if gw is not None:
+            self._by_gid.pop(gw.gid, None)
+        for log_name in self.store.log_names(_LOG_PREFIX + key + "/"):
+            self.store.delete_log(log_name)
+        self.store.delete(_CK_PREFIX + key)
+
+    # ------------------------------------------------------------------
+    # Rejoin hints + log-assisted transfer
+    # ------------------------------------------------------------------
+    def rejoin_hint(self, gid: Address) -> Optional[Tuple[int, bytes]]:
+        """Position to piggyback on ``g.join``: (view, delivered enc).
+
+        Only offered when the local log is *replayable* — a checkpoint
+        with captured state exists, so the joining process can rebuild
+        its pre-crash state locally and needs just the suffix.
+        """
+        gw = self.lookup(gid)
+        if gw is None or gw.view_id <= 0 or not gw.ck_has_state:
+            return None
+        return (gw.view_id, encode_delivered(gw.delivered))
+
+    def build_suffix(self, gid: Address, hint_view: int,
+                     hint_dlv: bytes) -> Optional[List[bytes]]:
+        """Records this site holds past the joiner's position.
+
+        ``None`` when our own log does not reach back far enough (its
+        base position presumes something the joiner lacks): the caller
+        falls back to a full snapshot.
+        """
+        gw = self.lookup(gid)
+        if gw is None or not gw.armed:
+            return None
+        try:
+            joiner_dlv, _ = decode_delivered(hint_dlv)
+        except Exception:
+            return None
+        if gw.base_view > hint_view:
+            return None
+        if gw.base_view == hint_view and not _delivered_subset(
+                gw.base_delivered, joiner_dlv):
+            return None
+        suffix: List[bytes] = []
+        for framed in gw.records:
+            rec = parse_record(unframe_record(framed))
+            if rec is None:
+                continue
+            if rec["kind"] == REC_DELIVER:
+                if rec["view"] < hint_view:
+                    continue
+                if rec["view"] == hint_view and _delivered_covers(
+                        joiner_dlv, rec["origin"], rec["gseq"]):
+                    continue
+            elif rec["view"] <= hint_view:
+                continue
+            suffix.append(framed)
+        return suffix
+
+    def replay_to(self, gid: Address, process: "IsisProcess") -> int:
+        """Rebuild ``process`` from the local checkpoint + log."""
+        gw = self.lookup(gid)
+        if gw is None:
+            return 0
+        return self._apply(gw, process)
+
+    def absorb_suffix(self, gid: Address, suffix: List[bytes],
+                      process: "IsisProcess") -> int:
+        """Apply a source's suffix records to the rejoining process.
+
+        The records are not re-logged here: the join finishing right
+        after this rebases the log anyway (view boundary record + a
+        checkpoint that captures their combined effect).
+        """
+        applied = 0
+        for framed in suffix:
+            rec = parse_record(unframe_record(bytes(framed)))
+            if rec is None:
+                continue
+            if rec["kind"] in (REC_DELIVER, REC_GBCAST):
+                self._deliver_replay(process, rec)
+                applied += 1
+        return applied
+
+    def _apply(self, gw: GroupWal, process: "IsisProcess") -> int:
+        decoders = getattr(process, "xfer_segments", {})
+        for name, blocks in gw.ck_segments.items():
+            entry = decoders.get(name)
+            if entry is not None:
+                entry[1]([bytes(b) for b in blocks])
+        applied = 0
+        for framed in gw.records:
+            rec = parse_record(unframe_record(framed))
+            if rec is None:
+                continue
+            if gw.covered_by_ck(rec):
+                continue  # retention-window record; the segments have it
+            if rec["kind"] in (REC_DELIVER, REC_GBCAST):
+                self._deliver_replay(process, rec)
+                applied += 1
+        return applied
+
+    def _deliver_replay(self, process: "IsisProcess", rec: dict) -> None:
+        try:
+            user = Message.decode(rec["user"])
+        except Exception:
+            self.sim.trace.bump("wal.bad_replay")
+            return
+        user["_replay"] = True
+        self.replayed += 1
+        self.sim.trace.bump("wal.replayed")
+        process.deliver(user)
+
+    # ------------------------------------------------------------------
+    # Total-failure restore (paper §5: last process to fail restarts)
+    # ------------------------------------------------------------------
+    def logged_position(self, group_name: str) -> Optional[Tuple[int, int]]:
+        """The (view, deliveries) election key for a named group, or
+        ``None`` when this site never logged it (the explicit no-log
+        marker the recovery poll's comparison needs)."""
+        pos = self.boot_positions.get(group_name)
+        if pos is not None:
+            return pos
+        gw = self._named(group_name)
+        if gw is None or gw.view_id <= 0:
+            return None
+        return gw.position()
+
+    def alive_for(self, group_name: str) -> bool:
+        """Does this site currently host a live member of the named
+        group (armed log + running engine)?  Recovery polls use this to
+        route a contender toward joining rather than re-creating."""
+        gw = self._named(group_name)
+        return (gw is not None and gw.armed
+                and gw.gid in self.kernel.engines)
+
+    def restore(self, process: "IsisProcess", group_name: str) -> Optional[int]:
+        """Rebuild ``process`` from the named group's checkpoint + log.
+
+        Returns the number of replayed deliveries, or ``None`` when no
+        log exists.  The caller then re-creates the group (fresh gid)
+        and late losers rejoin it through the normal join flush.
+        """
+        gw = self._named(group_name)
+        if gw is None:
+            return None
+        self.total_restarts += 1
+        self.sim.trace.bump("recovery.total_restarts")
+        return self._apply(gw, process)
+
+    def _named(self, group_name: str) -> Optional[GroupWal]:
+        raw = self.store.read(_NAME_PREFIX + group_name)
+        if raw is not None:
+            gw = self.groups.get(raw.hex())
+            if gw is not None:
+                return gw
+        for gw in self.groups.values():
+            if gw.name == group_name:
+                return gw
+        return None
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {
+            "wal.groups": len(self.groups),
+            "wal.appends": self.appends,
+            "wal.bytes": self.append_bytes,
+            "wal.truncations": self.truncations,
+            "wal.replayed": self.replayed,
+            "checkpoint.writes": self.ck_writes,
+            "checkpoint.bytes": self.ck_bytes,
+            "recovery.torn_tails": self.torn_tails,
+            "recovery.rejoins": self.rejoins,
+            "recovery.total_restarts": self.total_restarts,
+            "transfer.log_assisted_bytes_saved": self.log_assisted_saved,
+        }

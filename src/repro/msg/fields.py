@@ -160,6 +160,18 @@ def decode_value(data: bytes, offset: int) -> Tuple[Any, int]:
 # the ~80 a generic dict field would.
 
 
+def modular_newer(a: int, b: int, modulus: int = 256) -> bool:
+    """Is bounded counter ``a`` newer than ``b`` under wraparound?
+
+    Bounded-counter comparison (Salem & Schiller): with counters that
+    wrap modulo ``modulus``, ``a`` is *newer* than ``b`` when it lies in
+    the forward half-window ``(b, b + modulus/2)``.  Site incarnations
+    (one address byte) and the transport epochs derived from them use
+    this instead of ``>`` so a site may restart more than 255 times.
+    """
+    return 0 < (a - b) % modulus < modulus // 2
+
+
 def encode_uvarint(n: int) -> bytes:
     """Unsigned LEB128."""
     if n < 0:

@@ -21,6 +21,7 @@ from collections import OrderedDict, deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..errors import SiteDown
+from ..msg.fields import modular_newer
 from ..sim.core import Simulator, Timer
 from ..sim.cpu import Cpu
 from ..sim.tasks import Promise
@@ -292,17 +293,19 @@ class Transport:
 
     def _process_data(self, frame: Frame) -> None:
         channel = self._recv_channels.get(frame.src_site)
-        if channel is None or frame.epoch > channel.epoch:
+        if channel is None or modular_newer(frame.epoch, channel.epoch):
             # New incarnation of the source: reset channel state,
             # including any ACK still owed to the previous incarnation —
             # replaying it against the new incarnation's send channel
             # would silently "acknowledge" frames we never received.
+            # Epochs wrap modulo 256 with the incarnation byte, so
+            # newness is a modular half-window, not ``>``.
             channel = _RecvChannel(frame.epoch)
             self._recv_channels[frame.src_site] = channel
             self._reassembler.forget((frame.src_site,))
             self._ack_pending.pop(frame.src_site, None)
             self._cancel_ack_timer(frame.src_site)
-        elif frame.epoch < channel.epoch:
+        elif frame.epoch != channel.epoch:
             self.sim.trace.bump("transport.stale_epoch")
             return
         if frame.ack >= 0:

@@ -27,6 +27,7 @@ before/after measurement in ``benchmarks/bench_realnet.py``.
 from __future__ import annotations
 
 import asyncio
+import random
 import socket
 import struct
 from collections import OrderedDict, deque
@@ -34,6 +35,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, List, Mapping, Optional, Set, Tuple
 
 from ..errors import NetworkError, SiteDown
+from ..msg.fields import modular_newer
 from ..sim.tasks import Promise
 from .packet import (
     DATAGRAM_HEADER_BYTES,
@@ -61,6 +63,16 @@ class UdpConfig:
     ack_delay: float = 0.0       # 0 = cumulative ACK per delivered batch
     coalesce: bool = True        # bundle frames per destination per loop tick
     max_datagram: int = 1400     # bundle size ceiling (stay under typical MTU)
+    # Packet fault injection (localhost loses nothing, so without these
+    # the retransmit path only exercises under overload).  Each outgoing
+    # datagram is independently dropped / duplicated / delayed past its
+    # successors with the given probabilities, from a per-site seeded
+    # schedule — deterministic for a fixed (fault_seed, site) pair.
+    loss_rate: float = 0.0       # drop the datagram entirely
+    dup_rate: float = 0.0        # send it twice
+    reorder: float = 0.0         # hold it so later datagrams overtake it
+    reorder_delay: float = 0.02  # how long a reordered datagram is held
+    fault_seed: int = 0          # deterministic fault schedule
 
 
 class _SendChannel:
@@ -149,6 +161,14 @@ class UdpTransport:
         self.datagrams_received = 0
         self.datagram_bytes_sent = 0
         self.send_errors = 0
+        self.faults_lost = 0
+        self.faults_duped = 0
+        self.faults_reordered = 0
+        cfg = self.config
+        self._fault_rng: Optional[random.Random] = None
+        if cfg.loss_rate > 0 or cfg.dup_rate > 0 or cfg.reorder > 0:
+            self._fault_rng = random.Random(
+                (cfg.fault_seed << 16) ^ (site_id * 2654435761))
         self.loop.add_reader(self._sock.fileno(), self._on_readable)
 
     # ------------------------------------------------------------------
@@ -258,6 +278,28 @@ class UdpTransport:
 
     def _send_datagram(self, frames: List[Frame], addr: Tuple[str, int]) -> None:
         data = encode_datagram(frames)
+        rng = self._fault_rng
+        if rng is not None:
+            if rng.random() < self.config.loss_rate:
+                self.faults_lost += 1
+                return  # vanished on the wire; retransmits recover
+            if rng.random() < self.config.reorder:
+                # Held back while its successors go out: arrives late and
+                # out of order, exercising the receive-window reassembly.
+                self.faults_reordered += 1
+                self.scheduler.call_after(
+                    self.config.reorder_delay,
+                    self._raw_send, data, addr, len(frames))
+                return
+            if rng.random() < self.config.dup_rate:
+                self.faults_duped += 1
+                self._raw_send(data, addr, len(frames))
+        self._raw_send(data, addr, len(frames))
+
+    def _raw_send(self, data: bytes, addr: Tuple[str, int],
+                  nframes: int) -> None:
+        if not self._alive:
+            return
         try:
             self._sock.sendto(data, addr)
         except (BlockingIOError, InterruptedError, OSError):
@@ -267,7 +309,7 @@ class UdpTransport:
             return
         self.datagrams_sent += 1
         self.datagram_bytes_sent += len(data)
-        self.frames_sent += len(frames)
+        self.frames_sent += nframes
 
     # -- retransmission --------------------------------------------------
     def _arm_retransmit(self, channel: _SendChannel, dst_site: int) -> None:
@@ -355,15 +397,16 @@ class UdpTransport:
 
     def _process_data(self, frame: Frame) -> None:
         channel = self._recv_channels.get(frame.src_site)
-        if channel is None or frame.epoch > channel.epoch:
+        if channel is None or modular_newer(frame.epoch, channel.epoch):
             # New incarnation of the source: reset channel state (same
-            # rules as the simulator transport).
+            # rules as the simulator transport — epochs wrap modulo 256
+            # with the incarnation byte, so newness is a modular window).
             channel = _RecvChannel(frame.epoch)
             self._recv_channels[frame.src_site] = channel
             self._reassembler.forget((frame.src_site,))
             self._ack_pending.pop(frame.src_site, None)
             self._cancel_ack_timer(frame.src_site)
-        elif frame.epoch < channel.epoch:
+        elif frame.epoch != channel.epoch:
             self.scheduler.trace.bump("transport.stale_epoch")
             return
         if frame.ack >= 0:
@@ -460,6 +503,9 @@ class UdpTransport:
             "datagrams_received": self.datagrams_received,
             "datagram_bytes_sent": self.datagram_bytes_sent,
             "send_errors": self.send_errors,
+            "faults_lost": self.faults_lost,
+            "faults_duped": self.faults_duped,
+            "faults_reordered": self.faults_reordered,
         }
 
     def outbound_idle(self) -> bool:

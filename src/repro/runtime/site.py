@@ -30,7 +30,7 @@ from ..sim.cpu import Cpu
 from ..sim.tasks import Promise
 from .process import IsisProcess
 from .program import ProgramRegistry
-from .stable import StableStore
+from .stable import StableStore, StorageFaults
 
 #: local_id 0 is reserved for the per-site protocols process (kernel).
 KERNEL_LOCAL_ID = 0
@@ -42,6 +42,11 @@ class BaseSite:
     def __init__(self, site_id: int):
         self.site_id = site_id
         self.incarnation = -1  # becomes 0 on first boot
+        #: True restart count.  ``incarnation`` is the bounded *wire*
+        #: value (one address byte / transport epoch); it wraps modulo
+        #: 256 with modular-window comparisons on every consumer (Salem &
+        #: Schiller bounded counters), so a site may restart forever.
+        self.incarnations_total = 0
         self.processes: Dict[int, IsisProcess] = {}
         self.up = False
         self._next_local_id = KERNEL_LOCAL_ID + 1
@@ -61,9 +66,8 @@ class BaseSite:
         self._crash_hooks.append(hook)
 
     def _reset_for_boot(self) -> None:
-        self.incarnation += 1
-        if self.incarnation > 0xFF:
-            raise IsisError(f"site {self.site_id} exceeded 255 incarnations")
+        self.incarnations_total += 1
+        self.incarnation = (self.incarnation + 1) & 0xFF
         self.processes = {}
         self._next_local_id = KERNEL_LOCAL_ID + 1
 
@@ -169,6 +173,7 @@ class Site(BaseSite):
             self.transport.shutdown()
             self.transport = None
         self._clear_handlers()
+        self.stable.note_crash()
         for hook in self._crash_hooks:
             hook(self)
 
@@ -279,11 +284,13 @@ class Cluster:
         n_sites: int = 4,
         lan_config: Optional[LanConfig] = None,
         bulk_config: Optional[BulkConfig] = None,
+        storage_faults: Optional[StorageFaults] = None,
     ):
         self.sim = sim
         self.lan = Lan(sim, lan_config or LanConfig())
         self.bulk = BulkChannel(sim, self.lan, bulk_config or BulkConfig())
         self.programs = ProgramRegistry()
+        self.storage_faults = storage_faults
         self._stores: Dict[int, StableStore] = {}
         self.sites: Dict[int, Site] = {}
         for site_id in range(n_sites):
@@ -293,7 +300,8 @@ class Cluster:
         """The durable disk for ``site_id`` (shared across incarnations)."""
         store = self._stores.get(site_id)
         if store is None:
-            store = StableStore(self.sim, site_id)
+            store = StableStore(self.sim, site_id,
+                                faults=self.storage_faults)
             self._stores[site_id] = store
         return store
 

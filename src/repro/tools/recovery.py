@@ -1,4 +1,4 @@
-"""Recovery manager (§3.8).
+"""Recovery manager (§3.8, §5).
 
 *"This tool will restart processes after they fail, or if a site
 recovers.  The recovery manager runs an algorithm similar to the one in
@@ -12,18 +12,26 @@ Mechanics:
 * Applications **register** a (group name, program) pair at the sites
   where the service may be restarted; registrations persist on stable
   storage.
-* While a registered group runs, each member site **logs** every
-  installed view id to stable storage (via a kernel view hook).
+* While a registered group runs, each member site **logs** its position.
+  With ``IsisConfig.durability`` on, the kernel WAL already records the
+  exact ``(view_id, deliveries)`` pair — the poll uses it directly, and
+  the winner rebuilds its service state from checkpoint + log before
+  re-creating the group.  Without the WAL, a small view-id blob written
+  from a view hook provides the coarse legacy position.
 * When a site (re)boots, its recovery manager waits for the site view to
   settle, then for each registration:
 
   - if the group exists somewhere (namespace lookup succeeds), this is a
     **partial failure**: the program is restarted in ``mode="join"``;
-  - otherwise it polls the other recovery managers for their last logged
-    view ids ([Skeen]: the last process to fail knows the final state).
-    If nobody reachable logged a *later* view (ties broken by lowest
-    site id), this site restarts the group in ``mode="create"``; if
-    someone else wins, we wait and rejoin once the winner has restarted.
+  - otherwise it polls the other recovery managers for their logged
+    positions ([Skeen]: the last process to fail knows the final state).
+    Votes are explicit about *having no log at all* — a site that never
+    hosted the group abstains rather than voting ``view 0``, so it can
+    never win the election over a site with real knowledge.  Ties on
+    ``(view, deliveries)`` break toward the lowest site id.  If **no**
+    reachable site (including this one) holds a log, the lowest site id
+    among the responders restarts the group cold — registration alone
+    is then the best surviving knowledge.
 
 Program factories are looked up in the cluster's program registry and
 invoked as ``factory(process, mode, group_name)``.
@@ -31,30 +39,49 @@ invoked as ``factory(process, mode, group_name)``.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.kernel import ProtocolsProcess
-from ..errors import NoSuchGroup, RecoveryError
+from ..errors import NoSuchGroup
 from ..msg.message import Message
-from ..sim.tasks import Promise, sleep, with_timeout
+from ..sim.tasks import Promise, sleep
 
 _REG_PREFIX = "rm/prog/"
 _VIEW_PREFIX = "rm/views/"
+
+#: A vote in the restart election: (has_log, view, deliveries, alive).
+#: ``alive`` means the answering site currently hosts a live member —
+#: the asker should rejoin, not contend.
+Vote = Tuple[bool, int, int, bool]
 
 
 class RecoveryManager:
     """The per-site recovery service."""
 
     def __init__(self, kernel: ProtocolsProcess, settle_delay: float = 8.0,
-                 poll_timeout: float = 3.0, retry_delay: float = 5.0):
+                 poll_timeout: float = 3.0, retry_delay: float = 5.0,
+                 lonely_rounds: int = 3):
         self.kernel = kernel
         self.sim = kernel.sim
         self.site = kernel.site
         self.settle_delay = settle_delay
         self.poll_timeout = poll_timeout
         self.retry_delay = retry_delay
-        self._pending_polls: Dict[int, Tuple[Promise, Set[int], Dict[int, int]]] = {}
+        self.lonely_rounds = lonely_rounds
+        self._pending_polls: Dict[int, Tuple[Promise, Set[int],
+                                             Dict[int, Vote]]] = {}
         self._next_poll = 1
+        # Freeze the legacy view blobs as recovered at boot: re-creating
+        # a group rewrites them (back to view 1), and a vote must not
+        # change under an election already in flight.
+        self._boot_views: Dict[str, Tuple[int, int]] = {}
+        for group in self.registered_groups():
+            raw = self.site.stable.read(_VIEW_PREFIX + group)
+            if raw:
+                try:
+                    self._boot_views[group] = (int(raw.decode("utf-8")), 0)
+                except ValueError:
+                    pass
         kernel.register_service("rm.", self._on_message)
         kernel.view_hooks.append(self._log_view)
         self._recover_registered()
@@ -72,7 +99,7 @@ class RecoveryManager:
         return [k[len(_REG_PREFIX):] for k in self.site.stable.keys(_REG_PREFIX)]
 
     # ------------------------------------------------------------------
-    # View logging (the [Skeen] knowledge)
+    # Position logging (the [Skeen] knowledge)
     # ------------------------------------------------------------------
     def _log_view(self, engine, old_view, new_view, event) -> None:
         name = self._name_of(engine)
@@ -89,9 +116,28 @@ class RecoveryManager:
                 return name
         return None
 
-    def last_logged_view(self, group_name: str) -> int:
+    def last_logged(self, group_name: str) -> Optional[Tuple[int, int]]:
+        """This site's logged ``(view, deliveries)`` — or ``None`` when
+        it never logged the group.  ``None`` and ``(0-ish, 0)`` are very
+        different votes: only the former abstains from the election."""
+        pos = self.kernel.wal_position(group_name)
+        if pos is not None:
+            return pos
+        pos = self._boot_views.get(group_name)
+        if pos is not None:
+            return pos
         raw = self.site.stable.read(_VIEW_PREFIX + group_name)
-        return int(raw.decode("utf-8")) if raw else 0
+        if raw:
+            try:
+                return (int(raw.decode("utf-8")), 0)
+            except ValueError:
+                return None
+        return None
+
+    def last_logged_view(self, group_name: str) -> int:
+        """Legacy accessor: logged view id, 0 when nothing was logged."""
+        pos = self.last_logged(group_name)
+        return pos[0] if pos else 0
 
     # ------------------------------------------------------------------
     # Recovery on boot
@@ -105,6 +151,7 @@ class RecoveryManager:
 
     def _recover(self, group_name: str, program: str):
         yield sleep(self.sim, self.settle_delay)
+        lonely = 0
         while self.kernel.alive:
             # Partial failure? The group may be running elsewhere.
             gid = None
@@ -117,14 +164,40 @@ class RecoveryManager:
                 self._launch(program, "join", group_name)
                 return
             # Total failure: am I the one who should restart it?
-            mine = self.last_logged_view(group_name)
-            peers = yield from self._poll_peers(group_name)
-            best_site, best_view = self.site.site_id, mine
-            for site, view_id in sorted(peers.items()):
-                if view_id > best_view or (
-                        view_id == best_view and site < best_site):
-                    best_site, best_view = site, view_id
-            if best_site == self.site.site_id:
+            mine = self.last_logged(group_name)
+            votes = yield from self._poll_peers(group_name)
+            votes[self.site.site_id] = (
+                (True, mine[0], mine[1], False) if mine
+                else (False, 0, 0, False))
+            if any(v[3] for v in votes.values()):
+                # Some site answered that it is hosting the group right
+                # now (it restarted it while our poll was in flight):
+                # back off and rejoin through the loop's lookup path.
+                yield sleep(self.sim, self.retry_delay)
+                continue
+            if len(votes) == 1 and lonely < self.lonely_rounds:
+                # Nobody answered — most likely this site has not yet
+                # rejoined the site view after its own restart.  Two
+                # freshly restarted sites would otherwise each see an
+                # empty election and both "win" (a split brain).  Retry
+                # a few rounds; only a persistently lonely site may
+                # conclude it really is the sole survivor.
+                lonely += 1
+                self.sim.trace.bump("tool.rm_lonely_polls")
+                yield sleep(self.sim, self.retry_delay)
+                continue
+            lonely = 0
+            if self._winner(votes) == self.site.site_id:
+                # Last look before claiming the restart: another winner
+                # may have re-created the group while we deliberated.
+                try:
+                    gid = yield self.kernel.lookup_name(group_name)
+                except NoSuchGroup:
+                    gid = None
+                if gid is not None:
+                    self.sim.trace.bump("tool.rm_rejoins")
+                    self._launch(program, "join", group_name)
+                    return
                 self.sim.trace.bump("tool.rm_restarts")
                 self.sim.trace.log("rm.restart", (self.site.site_id, group_name))
                 self._launch(program, "create", group_name)
@@ -132,10 +205,35 @@ class RecoveryManager:
             # Someone with later knowledge will restart it; wait and rejoin.
             yield sleep(self.sim, self.retry_delay)
 
+    def _winner(self, votes: Dict[int, Vote]) -> int:
+        """The site that should restart the group, given the votes.
+
+        Sites *with* a log compete on ``(view, deliveries)``, lowest
+        site id breaking ties.  Only when nobody at all holds a log does
+        the lowest responding site restart cold.
+        """
+        voters = [(v[1], v[2], -site)
+                  for site, v in votes.items() if v[0]]
+        if voters:
+            view, cnt, neg_site = max(voters)
+            return -neg_site
+        return min(votes)
+
     def _launch(self, program: str, mode: str, group_name: str) -> None:
         factory = self.site.cluster.programs.lookup(program)
         process = self.site.spawn_process(name=f"{program}[{mode}]")
         factory(process, mode, group_name)
+        if mode == "create":
+            # Election winner: rebuild the service state from the local
+            # checkpoint + log (paper §5) before the factory's create
+            # round installs the fresh group.  The factory has bound its
+            # handlers and transfer segments by now; the replay streams
+            # straight into them.  No-op without a WAL.
+            replayed = self.kernel.restore_from_wal(process, group_name)
+            if replayed is not None:
+                self.sim.trace.bump("tool.rm_restored")
+                self.sim.trace.log(
+                    "rm.restore", (self.site.site_id, group_name, replayed))
 
     # ------------------------------------------------------------------
     # Peer polling ("rm.q" / "rm.a")
@@ -143,7 +241,7 @@ class RecoveryManager:
     def _poll_peers(self, group_name: str):
         view = self.kernel.site_view
         peers = set(view.sites()) - {self.site.site_id} if view else set()
-        results: Dict[int, int] = {}
+        results: Dict[int, Vote] = {}
         if not peers:
             return results
         poll_id = self._next_poll
@@ -154,29 +252,52 @@ class RecoveryManager:
             self.kernel.send_to_site(site, Message(
                 _proto="rm.q", poll=poll_id, group=group_name,
                 origin=self.site.site_id))
-        try:
-            yield with_timeout(self.sim, done, self.poll_timeout)
-        except Exception:
-            pass  # unreachable peers simply don't vote
+        # Deadline via idempotent resolve rather than an exception: a
+        # last vote landing in the same instant the timer fires must not
+        # race the poll bookkeeping — whichever settles ``done`` first
+        # wins and the other is a no-op, and either way the snapshot
+        # below is taken only after settlement.
+        self.sim.call_after(self.poll_timeout, done.resolve, None)
+        yield done
         self._pending_polls.pop(poll_id, None)
-        return results
+        return dict(results)
 
     def _on_message(self, src_site: int, msg: Message) -> None:
         proto = msg["_proto"]
         if proto == "rm.q":
+            pos = self.last_logged(msg["group"])
             self.kernel.send_to_site(src_site, Message(
                 _proto="rm.a", poll=msg["poll"],
-                last=self.last_logged_view(msg["group"]),
+                has=1 if pos else 0,
+                view=pos[0] if pos else 0,
+                cnt=pos[1] if pos else 0,
+                alive=1 if self._group_alive(msg["group"]) else 0,
+                # Kept for cross-version peers that still read "last".
+                last=pos[0] if pos else 0,
                 site=self.site.site_id))
         elif proto == "rm.a":
-            entry = self._pending_polls.get(msg["poll"])
+            entry = self._pending_polls.get(msg.get("poll"))
             if entry is None:
-                return
+                return  # the poll already closed (late vote)
             done, waiting, results = entry
-            results[msg["site"]] = msg["last"]
-            waiting.discard(msg["site"])
-            if not waiting and not done.done:
+            site = msg.get("site", src_site)
+            results[site] = (bool(msg.get("has", msg.get("last", 0))),
+                             msg.get("view", msg.get("last", 0)) or 0,
+                             msg.get("cnt", 0) or 0,
+                             bool(msg.get("alive", 0)))
+            waiting.discard(site)
+            if not waiting:
                 done.resolve(results)
+
+    def _group_alive(self, group_name: str) -> bool:
+        """Is a member of the named group running at this site now?"""
+        if self.kernel.wal is not None and self.kernel.wal.alive_for(
+                group_name):
+            return True
+        for engine in self.kernel.engines.values():
+            if self._name_of(engine) == group_name:
+                return True
+        return False
 
 
 def install_recovery(system, settle_delay: float = 8.0) -> Dict[int, RecoveryManager]:
