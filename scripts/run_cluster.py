@@ -34,6 +34,18 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--base-port", type=int, default=None,
                         help="default: random in [20000, 48000)")
     parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--hosts", default=None,
+                        help="per-site address overrides, e.g. "
+                             "'0=10.0.0.1,2=10.0.0.3'; only sites mapped "
+                             "to local addresses are spawned here, the "
+                             "rest are expected on their mapped machines")
+    parser.add_argument("--local-sites", default=None,
+                        help="comma-separated site ids to spawn from this "
+                             "launcher (default: all; use with --hosts on "
+                             "multi-machine runs)")
+    parser.add_argument("--loss-rate", type=float, default=0.0,
+                        help="inject datagram loss at every site (lossy "
+                             "smoke variant)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--workload", default="cbcast",
                         choices=["idle", "cbcast", "abcast", "mixed"])
@@ -41,7 +53,7 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--payload-bytes", type=int, default=64)
     parser.add_argument("--inflight", type=int, default=8)
     parser.add_argument("--abcast-mode", default="sequencer",
-                        choices=["sequencer", "two_phase"])
+                        choices=["sequencer", "two_phase", "leader"])
     parser.add_argument("--no-coalesce", action="store_true")
     parser.add_argument("--timeout", type=float, default=60.0,
                         help="hard deadline for the whole run")
@@ -57,9 +69,14 @@ def run_cluster(args: argparse.Namespace) -> dict:
         # Even base so the +2i/+2i+1 plan stays within one even block.
         base_port = random.randrange(20000, 48000, 2)
     tmpdir = tempfile.mkdtemp(prefix="realnet_")
+    hosts = getattr(args, "hosts", None)
+    loss_rate = getattr(args, "loss_rate", 0.0)
+    local_spec = getattr(args, "local_sites", None)
+    local = (sorted(int(s) for s in local_spec.split(","))
+             if local_spec else list(range(args.n_sites)))
     procs = []
     outs = []
-    for sid in range(args.n_sites):
+    for sid in local:
         out_path = os.path.join(tmpdir, f"site{sid}.json")
         outs.append(out_path)
         cmd = [
@@ -76,6 +93,10 @@ def run_cluster(args: argparse.Namespace) -> dict:
             "--abcast-mode", args.abcast_mode,
             "--out", out_path,
         ]
+        if hosts:
+            cmd.extend(["--hosts", hosts])
+        if loss_rate:
+            cmd.extend(["--loss-rate", str(loss_rate)])
         if args.no_coalesce:
             cmd.append("--no-coalesce")
         procs.append(subprocess.Popen(cmd))
@@ -105,7 +126,7 @@ def run_cluster(args: argparse.Namespace) -> dict:
         raise
 
     reports = []
-    for sid, path in enumerate(outs):
+    for sid, path in zip(local, outs):
         try:
             with open(path) as fh:
                 reports.append(json.load(fh))
@@ -140,6 +161,15 @@ def run_cluster(args: argparse.Namespace) -> dict:
                            default=0.0),
         "latency_p99": max((r.get("latency_p99", 0.0) for r in reports),
                            default=0.0),
+        # Worst-site CDF: per-quantile max across the per-site CDFs —
+        # the envelope a deployment has to budget for.
+        "latency_cdf": [
+            max(cdfs) for cdfs in zip(*[
+                r["latency_cdf"] for r in reports if r.get("latency_cdf")])
+        ],
+        "loss_rate": loss_rate,
+        "faults_lost": sum(
+            r.get("transport", {}).get("faults_lost", 0) for r in reports),
         "datagrams_sent": sum(
             r.get("transport", {}).get("datagrams_sent", 0) for r in reports),
         "frames_sent": sum(

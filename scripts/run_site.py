@@ -40,6 +40,13 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--n-sites", type=int, required=True)
     parser.add_argument("--base-port", type=int, required=True)
     parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--hosts", default=None,
+                        help="per-site address overrides, e.g. "
+                             "'0=10.0.0.1,2=10.0.0.3' (multi-machine runs; "
+                             "unlisted sites stay on --host)")
+    parser.add_argument("--loss-rate", type=float, default=0.0,
+                        help="inject datagram loss at this probability "
+                             "(lossy smoke; retransmits must recover)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--workload", default="cbcast",
                         choices=["idle", "cbcast", "abcast", "mixed"])
@@ -49,7 +56,7 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--inflight", type=int, default=8,
                         help="max multicasts in flight per sender")
     parser.add_argument("--abcast-mode", default="sequencer",
-                        choices=["sequencer", "two_phase"])
+                        choices=["sequencer", "two_phase", "leader"])
     parser.add_argument("--no-coalesce", action="store_true",
                         help="disable datagram bundling (ablation)")
     parser.add_argument("--join-timeout", type=float, default=15.0)
@@ -60,9 +67,23 @@ def parse_args(argv=None) -> argparse.Namespace:
     return parser.parse_args(argv)
 
 
+def parse_hosts(spec):
+    """``'0=10.0.0.1,2=10.0.0.3'`` -> ``{0: '10.0.0.1', 2: '10.0.0.3'}``."""
+    if not spec:
+        return None
+    hosts = {}
+    for item in spec.split(","):
+        sid, _, host = item.partition("=")
+        if not _ or not host:
+            raise SystemExit(f"bad --hosts entry {item!r} (want sid=host)")
+        hosts[int(sid)] = host
+    return hosts
+
+
 def main(argv=None) -> int:
     args = parse_args(argv)
-    udp_config = UdpConfig(coalesce=not args.no_coalesce)
+    udp_config = UdpConfig(coalesce=not args.no_coalesce,
+                           loss_rate=args.loss_rate)
     isis_config = IsisConfig(abcast_mode=args.abcast_mode)
     cluster = AsyncioCluster(
         n_sites=args.n_sites,
@@ -71,6 +92,7 @@ def main(argv=None) -> int:
         udp_config=udp_config,
         host=args.host,
         base_port=args.base_port,
+        hosts=parse_hosts(args.hosts),
         local_sites=[args.site_id],  # peers live in sibling processes
         boot=False,
     )
@@ -260,6 +282,10 @@ def report(args, cluster, delivered, latencies, sent, wall=0.0,
         return latencies[min(len(latencies) - 1,
                              int(p * (len(latencies) - 1)))]
 
+    # Compact CDF: latency at 33 evenly spaced quantiles (0, 1/32 … 1),
+    # enough to plot the distribution without shipping every sample.
+    cdf = [round(pct(i / 32), 6) for i in range(33)] if latencies else []
+
     out = {
         "site": args.site_id,
         "n_sites": args.n_sites,
@@ -271,8 +297,10 @@ def report(args, cluster, delivered, latencies, sent, wall=0.0,
         "wall_seconds": round(wall, 6),
         "latency_p50": pct(0.50),
         "latency_p99": pct(0.99),
+        "latency_cdf": cdf,
         "latency_samples": len(latencies),
         "coalesce": not args.no_coalesce,
+        "loss_rate": args.loss_rate,
         "transport": transport,
         "scheduler": cluster.runtime.scheduler.stats(),
     }

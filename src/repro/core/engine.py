@@ -34,9 +34,14 @@ optional piggybacked have-vector on data and ack envelopes):
 ``g.batch``             several same-destination data envelopes packed into
                         one wire message (+ piggybacked ``stab`` have-vector)
 ``g.abp`` / ``g.abf``   ABCAST proposal / final priority (+ ``stab``)
-``g.abs``               sequencer mode: batched order stamps from the
-                        token site (``view``, ``stamps=[[origin, gseq,
-                        seq], ...]`` + ``stab``)
+``g.abs``               sequencer/leader modes: batched order stamps from
+                        the token/leader site (``view``, ``stamps=[[origin,
+                        gseq, seq], ...]`` + ``stab``); in leader mode the
+                        ``view`` field doubles as the epoch tag
+``g.abl.d``             leader mode: leader→member epoch discovery query
+                        (``epoch``)
+``g.abl.a``             leader mode: member→leader discovery answer
+                        (``epoch``, ``high`` = highest applied stamp)
 ``g.fl.begin``          wedge request (fid)
 ``g.fl.ok``             participant report: have-vector + ABCAST state
 ``g.fl.expect``         union cut a refilled site must reach
@@ -397,6 +402,13 @@ class GroupEngine:
                 or not self.installed or self.view is None):
             return
         if not self.is_coordinator_site():
+            return
+        if not self.kernel.membership_may_commit():
+            # Quorum membership: a minority component must not commit
+            # views or GBCAST events — it wedges until it heals (and
+            # then rejoins via state transfer).  Primary-partition mode
+            # always answers True here.
+            self.sim.trace.bump("flush.membership_blocked")
             return
         config = self.kernel.config
         # Taking over a flush another coordinator began (it died
@@ -943,9 +955,7 @@ class GroupEngine:
         if not dead_members:
             return
         # Complete ABCAST collections that were waiting on dead sites.
-        for site in dead_sites:
-            for ref, final in self.tsender.drop_site(site):
-                self.pipeline.total.disseminate_final(ref, final)
+        self.pipeline.total.on_sites_died(dead_sites)
         if self.is_coordinator_site():
             if self._active is not None:
                 self.restart_flush(extra_removals=dead_members)

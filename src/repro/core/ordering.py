@@ -1,0 +1,641 @@
+"""Total-order engines behind the explicit :class:`OrderingEngine` seam.
+
+Three engines plug into the delivery pipeline's ordering slot
+(``IsisConfig.abcast_mode``), all honouring one contract so the group
+engine, the flush machinery and the stats layer never branch on the
+mode:
+
+* **Stamp issuance** — ``stamp(env, sender)`` attaches whatever
+  send-side metadata the engine needs; ``ingest(env)`` buffers a
+  received envelope and drives delivery.  Deliveries go through
+  ``GroupEngine.note_final_delivered`` with the final priority, so the
+  delivery floor stays monotone within a view for every engine.
+* **Wedge behaviour** — while the group is wedged (flush in progress)
+  an engine must neither assign new order (stamps, finals) nor apply
+  order that arrives: the site's FLUSH_OK report already went out, and
+  post-report deliveries would sit at positions the coordinator's cut
+  cannot see.  ``on_wedge()`` is the hook to push buffered order out
+  *ahead* of the report.
+* **Flush-cut contribution** — the engine's ``receiver`` exposes
+  ``pending_state()`` / ``delivered_priority()`` / ``force_order()``:
+  undelivered state is reported as ``(priority, final?)`` entries and
+  the coordinator's union cut (finals win; otherwise max proposal;
+  refs unseen at some survivor are lifted above every final) orders
+  them identically at every survivor.
+* **Unstamped-tail rule** — refs the engine never ordered are reported
+  with deterministic priorities above every assignable one
+  (``UNSTAMPED_BASE`` / ``LEADER_UNSTAMPED_BASE``), so the cut appends
+  them in the same order everywhere.
+
+Engines register themselves in :data:`ORDERING_ENGINES`;
+:func:`make_ordering` is the pipeline's only construction path, so a
+new engine is one subclass plus one decorator away.
+
+=============== ==============================================================
+``two_phase``   :class:`TotalOrdering` — the paper's ABCAST: every
+                receiver proposes a priority, the sender unions and
+                rebroadcasts the final (``g.abp`` / ``g.abf``).
+``sequencer``   :class:`SequencerOrdering` — the view's lowest-ranked
+                member's site holds the token and broadcasts batched
+                ``g.abs`` stamps; one phase, O(1) messages per ABCAST.
+``leader``      :class:`LeaderOrdering` — ZAB-style epoch/leader engine:
+                the leader (same deterministic choice as the token)
+                runs a discovery round (``g.abl.d`` / ``g.abl.a``) to
+                learn the highest stamp any survivor applied in the
+                epoch, synchronizes its counter above it, then
+                broadcasts the same batched ``g.abs`` stamps with
+                epoch-tagged cut priorities.
+=============== ==============================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple, Type
+
+from ..errors import GroupError
+from ..msg.address import Address
+from ..msg.message import Message
+from ..sim.core import Timer
+from .abcast import (
+    LeaderReceiver,
+    MsgRef,
+    Priority,
+    SequencerReceiver,
+    TotalOrderReceiver,
+    TotalOrderSender,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import GroupEngine
+    from .pipeline import DeliveryPipeline
+
+
+#: abcast_mode name -> engine class (filled by @register_ordering).
+ORDERING_ENGINES: Dict[str, Type["OrderingEngine"]] = {}
+
+
+def register_ordering(name: str):
+    """Class decorator: expose an engine under ``abcast_mode = name``."""
+
+    def deco(cls: Type["OrderingEngine"]) -> Type["OrderingEngine"]:
+        cls.mode = name
+        ORDERING_ENGINES[name] = cls
+        return cls
+
+    return deco
+
+
+def make_ordering(mode: str, engine: "GroupEngine",
+                  pipeline: "DeliveryPipeline") -> "OrderingEngine":
+    """Instantiate the configured total-order engine for one group."""
+    cls = ORDERING_ENGINES.get(mode)
+    if cls is None:
+        known = ", ".join(repr(k) for k in sorted(ORDERING_ENGINES))
+        raise GroupError(f"unknown abcast_mode {mode!r} "
+                         f"(expected one of {known})")
+    return cls(engine, pipeline)
+
+
+class OrderingEngine:
+    """Base class and contract for a pipeline total-order stage.
+
+    Subclasses override the send/receive hooks they implement; unknown
+    control traffic (a proposal reaching a sequencer-mode kernel, etc.)
+    lands in the defaults below, which count it as noise — modes are a
+    cluster-wide configuration, so a mismatch is a misconfiguration,
+    never a protocol state.
+    """
+
+    #: Registry name (set by :func:`register_ordering`).
+    mode = "?"
+
+    def __init__(self, engine: "GroupEngine", pipeline: "DeliveryPipeline"):
+        self.engine = engine
+        self.pipeline = pipeline
+        self.receiver = self._make_receiver()
+        #: Two-phase collection state.  Engines that never collect keep
+        #: it inert so the flush/failure paths stay mode-agnostic
+        #: (``drop_site`` on an inert sender completes nothing).
+        self.sender = TotalOrderSender()
+        #: Wire counters, aggregated by ``ProtocolsProcess.stats()``.
+        self.proposals_sent = 0
+        self.finals_sent = 0
+        self.stamps_sent = 0
+        self.token_handoffs = 0
+
+    def _make_receiver(self):
+        raise NotImplementedError
+
+    # -- lifecycle ---------------------------------------------------------
+    def shutdown(self) -> None:
+        """Disarm standing timers (kernel shutdown / crash teardown)."""
+
+    # -- send side ---------------------------------------------------------
+    def stamp(self, env: Message, sender: Address) -> None:
+        """Attach send-side ordering metadata to an outgoing envelope."""
+        raise NotImplementedError
+
+    # -- receive side ------------------------------------------------------
+    def ingest(self, env: Message) -> None:
+        """Buffer a data envelope and drive whatever delivery it allows."""
+        raise NotImplementedError
+
+    def on_proposal(self, src_site: int, msg: Message) -> None:
+        self.engine.sim.trace.bump("abcast.unexpected_control")
+
+    def on_final(self, msg: Message) -> None:
+        self.engine.sim.trace.bump("abcast.unexpected_control")
+
+    def on_stamps(self, src_site: int, msg: Message) -> None:
+        self.engine.sim.trace.bump("abcast.unexpected_control")
+
+    def on_discovery(self, src_site: int, msg: Message) -> None:
+        self.engine.sim.trace.bump("abcast.unexpected_control")
+
+    def on_discovery_answer(self, src_site: int, msg: Message) -> None:
+        self.engine.sim.trace.bump("abcast.unexpected_control")
+
+    def disseminate_final(self, ref: MsgRef, final: Priority) -> None:
+        """Broadcast a completed final (two-phase only; noise elsewhere)."""
+        self.engine.sim.trace.bump("abcast.unexpected_control")
+
+    # -- failure events ----------------------------------------------------
+    def on_sites_died(self, dead_sites: Set[int]) -> None:
+        """Member sites left the site view mid-collection.
+
+        Complete any proposal collections that were only waiting on the
+        dead sites; engines without a collecting sender inherit this as
+        a no-op (the inert sender completes nothing).
+        """
+        for site in dead_sites:
+            for ref, final in self.sender.drop_site(site):
+                self.disseminate_final(ref, final)
+
+    # -- view lifecycle ----------------------------------------------------
+    def on_wedge(self) -> None:
+        """Flush starting: push any buffered order out ahead of reports."""
+
+    def on_new_view(self) -> None:
+        self.receiver.on_new_view()
+        self.sender.abandon_all()
+
+
+@register_ordering("two_phase")
+class TotalOrdering(OrderingEngine):
+    """ABCAST stage: two-phase priority total order."""
+
+    def _make_receiver(self) -> TotalOrderReceiver:
+        return TotalOrderReceiver(
+            self.engine.site_id,
+            indexed=self.engine.kernel.config.indexed_delivery)
+
+    def shutdown(self) -> None:
+        """Two-phase mode keeps no standing timers; nothing to disarm."""
+
+    def stamp(self, env: Message, sender: Address) -> None:
+        """Send side: open a proposal collection for this envelope."""
+        assert self.engine.view is not None
+        env["ab_sender"] = sender.process()
+        self.sender.start((self.engine.site_id, env["gseq"]),
+                          list(self.engine.view.member_sites()))
+
+    def ingest(self, env: Message) -> None:
+        """Receive side: buffer, propose a priority back to the origin."""
+        ref: MsgRef = (env["origin"], env["gseq"])
+        priority = self.receiver.propose(ref, env)
+        if env["origin"] == self.engine.site_id:
+            self.offer_proposal(ref, self.engine.site_id, priority)
+        else:
+            note = Message(_proto="g.abp", gid=self.engine.gid,
+                           ref=list(ref), prio=list(priority))
+            self.pipeline.stability.attach(note)
+            self.proposals_sent += 1
+            self.engine.sim.trace.bump("abcast.proposals")
+            self.engine.kernel.send_to_site(env["origin"], note)
+
+    def on_proposal(self, src_site: int, msg: Message) -> None:
+        ref = (msg["ref"][0], msg["ref"][1])
+        self.offer_proposal(ref, src_site, (msg["prio"][0], msg["prio"][1]))
+
+    def offer_proposal(self, ref: MsgRef, site: int,
+                       priority: Priority) -> None:
+        final = self.sender.offer_proposal(ref, site, priority)
+        if final is not None:
+            self.disseminate_final(ref, final)
+
+    def disseminate_final(self, ref: MsgRef, final: Priority) -> None:
+        if self.engine.view is None:
+            return
+        note = Message(_proto="g.abf", gid=self.engine.gid,
+                       ref=list(ref), prio=list(final))
+        self.pipeline.stability.attach(note)
+        for site in self.engine.view.member_sites():
+            if site != self.engine.site_id:
+                self.finals_sent += 1
+                self.engine.sim.trace.bump("abcast.finals")
+                self.engine.kernel.send_to_site(site, note)
+        self.apply_final(ref, final)
+
+    def on_final(self, msg: Message) -> None:
+        self.apply_final((msg["ref"][0], msg["ref"][1]),
+                         (msg["prio"][0], msg["prio"][1]))
+
+    def apply_final(self, ref: MsgRef, final: Priority) -> None:
+        """Record a final priority and deliver whatever it unblocks.
+
+        No finals are applied while the group is wedged: our FLUSH_OK
+        report already went out, so a post-report delivery would sit at
+        a position the coordinator's cut does not know about — survivors
+        that deliver the same ref via the cut could order it differently
+        (the cut recomputes the final from *reported* proposals, which
+        need not equal the true final).  The cut settles every wedged
+        ref deterministically, so dropping here never stalls a message.
+        This mirrors ``SequencerOrdering``'s no-stamps-while-wedged rule.
+        """
+        if self.engine.wedged:
+            self.engine.sim.trace.bump("abcast.wedged_finals_dropped")
+            return
+        for ready in self.receiver.finalize(ref, final):
+            ready_ref: MsgRef = (ready["origin"], ready["gseq"])
+            # One finalize can unblock several queued messages; each is
+            # recorded with its own final priority (a flush cut built
+            # from a wrong priority would diverge between survivors).
+            delivered_with = self.receiver.delivered_priority(ready_ref)
+            self.engine.note_final_delivered(
+                ready_ref, delivered_with if delivered_with is not None
+                else final)
+            self.engine.deliver_env(ready)
+
+
+@register_ordering("sequencer")
+class SequencerOrdering(OrderingEngine):
+    """ABCAST stage: one-phase total order via a token-site sequencer.
+
+    The lowest-ranked (oldest) member's site of the current view holds
+    the *token*.  Senders disseminate ``g.ab`` data envelopes exactly as
+    in two-phase mode, but nobody proposes priorities: the token site
+    assigns each envelope the next dense per-view sequence number and
+    broadcasts ``g.abs`` stamp messages.  Stamps batch — one ``g.abs``
+    can order many refs, accumulated over ``IsisConfig.batch_window`` —
+    so the steady-state protocol cost per ABCAST is O(1) messages
+    instead of the two-phase O(n) proposals plus finals.
+
+    Token handoff needs no extra protocol: the token is a pure function
+    of the view, and a view change runs the flush, whose reports carry
+    each survivor's stamped prefix (as ``(seq, 0)`` priorities).  The
+    coordinator's union cut orders stamped messages first, then the
+    deterministic unstamped tail, so all survivors deliver the same
+    sequence across the cut; the new view's lowest-ranked member site
+    then stamps from 1 again.
+    """
+
+    def __init__(self, engine: "GroupEngine", pipeline: "DeliveryPipeline"):
+        super().__init__(engine, pipeline)
+        #: Token side: next stamp to assign (dense, per view).
+        self._next_stamp = 1
+        #: Token side: stamps accumulating for the next ``g.abs``.
+        self._pending: List[List[int]] = []
+        self._stamp_timer: Optional[Timer] = None
+        #: Stamps for views we have not installed yet.
+        self._future_stamps: List[Tuple[int, List[List[int]]]] = []
+        #: Token site of the view at the last view change (handoff count).
+        self._token_site: Optional[int] = None
+
+    def _make_receiver(self) -> SequencerReceiver:
+        return SequencerReceiver(self.engine.site_id)
+
+    def shutdown(self) -> None:
+        """Disarm the token side's pending stamp-batch timer."""
+        if self._stamp_timer is not None:
+            self._stamp_timer.cancel()
+            self._stamp_timer = None
+
+    # -- token identity ----------------------------------------------------
+    def token_site(self) -> Optional[int]:
+        """The site holding the token: the lowest-ranked member's site."""
+        view = self.engine.view
+        if view is None or not view.members:
+            return None
+        return view.members[0].site
+
+    def is_token(self) -> bool:
+        return self.token_site() == self.engine.site_id
+
+    # -- send side ---------------------------------------------------------
+    def stamp(self, env: Message, sender: Address) -> None:
+        """Send side: no proposal collection — ordering is the token's."""
+        env["ab_sender"] = sender.process()
+
+    # -- receive side ------------------------------------------------------
+    def ingest(self, env: Message) -> None:
+        """Buffer a data envelope; the token site also assigns its stamp.
+
+        No stamps are assigned while the group is wedged: the token's
+        FLUSH_OK report already went out, so a post-report stamp would be
+        invisible to the coordinator's cut — the cut itself orders (or
+        excludes) everything that arrives mid-flush.  Stamps assigned
+        *before* the wedge are in the report and may keep delivering.
+        """
+        ref: MsgRef = (env["origin"], env["gseq"])
+        for ready in self.receiver.hold(ref, env):
+            self._deliver(ready)
+        if (self.is_token() and not self.engine.wedged
+                and not self.receiver.has_stamp(ref)):
+            self._assign_stamp(ref)
+
+    def _assign_stamp(self, ref: MsgRef) -> None:
+        """Token side: give ``ref`` the next stamp and queue its note."""
+        seq = self._next_stamp
+        self._next_stamp += 1
+        self._queue_stamp(ref, seq)
+        for ready in self.receiver.apply_stamps([(ref, seq)]):
+            self._deliver(ready)
+
+    def on_stamps(self, src_site: int, msg: Message) -> None:
+        """A ``g.abs`` arrived: apply its (ref, seq) pairs.
+
+        Current-view stamps arriving while wedged are dropped, mirroring
+        the no-assignment-while-wedged rule: our FLUSH_OK report already
+        went out, so applying them could deliver at stamp positions the
+        coordinator's cut does not know about.  When the token is the
+        flush coordinator (the normal case) this never triggers — its
+        stamps precede ``g.fl.begin`` on the same FIFO channel; it only
+        catches a suspected-but-alive token racing a removal flush, and
+        the cut settles every such ref deterministically anyway.
+        """
+        engine = self.engine
+        view_id = msg["view"]
+        if not engine.installed or engine.view is None \
+                or view_id > engine.view.view_id:
+            # Stamps for a view we have not installed yet: hold them
+            # (dropping would stall those refs until the next flush).
+            self._future_stamps.append((view_id, msg["stamps"]))
+            return
+        if view_id < engine.view.view_id:
+            engine.sim.trace.bump("abcast.stale_stamps")
+            return
+        if engine.wedged:
+            engine.sim.trace.bump("abcast.wedged_stamps_dropped")
+            return
+        pairs = [((s[0], s[1]), s[2]) for s in msg["stamps"]]
+        for ready in self.receiver.apply_stamps(pairs):
+            self._deliver(ready)
+
+    def _deliver(self, env: Message) -> None:
+        ref: MsgRef = (env["origin"], env["gseq"])
+        prio = self.receiver.delivered_priority(ref)
+        if prio is not None:
+            self.engine.note_final_delivered(ref, prio)
+        self.engine.deliver_env(env)
+
+    # -- stamp batching ----------------------------------------------------
+    def _queue_stamp(self, ref: MsgRef, seq: int) -> None:
+        self._pending.append([ref[0], ref[1], seq])
+        window = self.engine.kernel.config.batch_window
+        if window <= 0:
+            self.flush_stamps()
+        elif self._stamp_timer is None:
+            self._stamp_timer = self.engine.sim.call_after(
+                window, self.flush_stamps)
+
+    def flush_stamps(self) -> None:
+        """Broadcast accumulated stamps as one ``g.abs`` per peer site."""
+        if self._stamp_timer is not None:
+            self._stamp_timer.cancel()
+            self._stamp_timer = None
+        if not self._pending:
+            return
+        engine = self.engine
+        view = engine.view
+        stamps, self._pending = self._pending, []
+        if view is None or not engine.kernel.alive:
+            return
+        note = Message(_proto="g.abs", gid=engine.gid,
+                       view=view.view_id, stamps=stamps)
+        self.pipeline.stability.attach(note)
+        engine.sim.trace.bump("abcast.stamped_refs", len(stamps))
+        sent = self.pipeline.dissemination.broadcast_note(note)
+        if sent:
+            self.stamps_sent += sent
+            engine.sim.trace.bump("abcast.seq_stamps", sent)
+
+    # -- view lifecycle ----------------------------------------------------
+    def on_wedge(self) -> None:
+        """Flush starting: push pending stamps out ahead of the reports."""
+        self.flush_stamps()
+
+    def on_new_view(self) -> None:
+        super().on_new_view()
+        self._pending.clear()
+        if self._stamp_timer is not None:
+            self._stamp_timer.cancel()
+            self._stamp_timer = None
+        self._next_stamp = 1
+        old_token = self._token_site
+        self._token_site = self.token_site()
+        if (self._token_site == self.engine.site_id
+                and old_token is not None and old_token != self._token_site):
+            self.token_handoffs += 1
+            self.engine.sim.trace.bump("abcast.token_handoffs")
+        # Replay stamps that raced ahead of our view installation.
+        if self._future_stamps and self.engine.view is not None:
+            current = self.engine.view.view_id
+            ready = [s for v, s in self._future_stamps if v == current]
+            self._future_stamps = [
+                (v, s) for v, s in self._future_stamps if v > current
+            ]
+            for stamps in ready:
+                pairs = [((s[0], s[1]), s[2]) for s in stamps]
+                for env in self.receiver.apply_stamps(pairs):
+                    self._deliver(env)
+
+
+#: Leader mode: how often an unsynchronized leader re-solicits
+#: discovery answers (covers followers that lag installing the view).
+DISCOVERY_RETRY = 0.25
+
+
+@register_ordering("leader")
+class LeaderOrdering(SequencerOrdering):
+    """ABCAST stage: ZAB-style epoch/leader total order.
+
+    Structurally the sequencer engine — one deterministic orderer per
+    view (the lowest-ranked member's site) broadcasting batched
+    ``g.abs`` stamps — but following ZAB's three-phase life cycle per
+    epoch, where the *epoch* is the group view id:
+
+    1. **Discovery** — before issuing its first stamp of a view, the
+       leader asks every other member site for the highest stamp it has
+       applied in this epoch (``g.abl.d`` → ``g.abl.a``).  Answers are
+       read-only and permitted even from wedged followers.
+    2. **Synchronization** — once a strict majority of member sites
+       (counting itself) has answered, the leader resumes numbering
+       *above* the maximum it heard, then stamps the backlog of
+       envelopes that arrived while it was discovering, in arrival
+       order.  Until then it assigns nothing: envelopes stay held and,
+       if a flush intervenes, take the deterministic unstamped tail.
+    3. **Broadcast** — steady state is byte-identical to the sequencer:
+       dense stamps batched into ``g.abs`` notes, the same wedge rules.
+       The ``view`` field on every stamp note doubles as the epoch tag;
+       followers apply only current-epoch stamps.
+
+    The difference the flush sees: stamps are reported as epoch-tagged
+    priorities ``(epoch * EPOCH_SPAN + seq, 0)`` (see
+    :class:`~repro.core.abcast.LeaderReceiver`), so cut entries from a
+    deposed leader's epoch always sort before the successor's — the
+    union cut stays sound across leader changes without knowing the
+    engine exists.
+    """
+
+    def __init__(self, engine: "GroupEngine", pipeline: "DeliveryPipeline"):
+        super().__init__(engine, pipeline)
+        #: View id whose synchronization phase has completed.
+        self._synced_view = -1
+        #: View id a discovery round is running for (-1: none).
+        self._discovering_view = -1
+        #: Discovery answers: site -> highest applied stamp.
+        self._answers: Dict[int, int] = {}
+        self._disc_timer: Optional[Timer] = None
+        self.discoveries = 0
+
+    def _make_receiver(self) -> LeaderReceiver:
+        return LeaderReceiver(self.engine.site_id)
+
+    def _epoch(self) -> int:
+        """Current epoch (= view id), pushed into the receiver.
+
+        Refreshed lazily because ``GroupEngine.create`` installs view 1
+        without running the pipeline's ``on_new_view``.
+        """
+        view = self.engine.view
+        epoch = view.view_id if view is not None else 0
+        self.receiver.epoch = epoch
+        return epoch
+
+    def shutdown(self) -> None:
+        super().shutdown()
+        if self._disc_timer is not None:
+            self._disc_timer.cancel()
+            self._disc_timer = None
+
+    # -- receive side ------------------------------------------------------
+    def ingest(self, env: Message) -> None:
+        self._epoch()
+        super().ingest(env)
+
+    def on_stamps(self, src_site: int, msg: Message) -> None:
+        self._epoch()
+        super().on_stamps(src_site, msg)
+
+    def _assign_stamp(self, ref: MsgRef) -> None:
+        """Leader side: stamp only once this epoch is synchronized."""
+        if self._synced_view != self._epoch():
+            # The ref stays held (unstamped); `_complete_sync` stamps
+            # the whole backlog in arrival order.
+            self._start_discovery()
+            return
+        super()._assign_stamp(ref)
+
+    # -- phase 1: discovery ------------------------------------------------
+    def _start_discovery(self) -> None:
+        view = self.engine.view
+        if view is None:
+            return
+        epoch = view.view_id
+        if self._discovering_view != epoch:
+            self._discovering_view = epoch
+            self._answers = {
+                self.engine.site_id: self.receiver.highest_stamp()}
+            self.discoveries += 1
+            self.engine.sim.trace.bump("abcast.leader_discoveries")
+        self._send_discovery_round(epoch)
+        self._maybe_complete_sync()
+
+    def _send_discovery_round(self, epoch: int) -> None:
+        view = self.engine.view
+        if view is None or view.view_id != epoch:
+            return
+        note = Message(_proto="g.abl.d", gid=self.engine.gid, epoch=epoch)
+        for site in view.member_sites():
+            if site != self.engine.site_id and site not in self._answers:
+                self.engine.sim.trace.bump("abcast.leader_disc_msgs")
+                self.engine.kernel.send_to_site(site, note)
+        if self._disc_timer is None:
+            self._disc_timer = self.engine.sim.call_after(
+                DISCOVERY_RETRY, self._retry_discovery)
+
+    def _retry_discovery(self) -> None:
+        """Re-solicit missing answers (a follower lagged the view)."""
+        self._disc_timer = None
+        view = self.engine.view
+        if (view is None or self._discovering_view != view.view_id
+                or self._synced_view == view.view_id):
+            return
+        self.engine.sim.trace.bump("abcast.leader_disc_retries")
+        self._send_discovery_round(view.view_id)
+
+    def on_discovery(self, src_site: int, msg: Message) -> None:
+        """Follower side: report our highest applied stamp of the epoch.
+
+        Read-only, so answering is safe even while wedged — the answer
+        changes no delivery state, and a leader that completes sync
+        mid-flush still refuses to stamp until unwedged.
+        """
+        engine = self.engine
+        view = engine.view
+        if (view is None or not engine.installed
+                or msg["epoch"] != view.view_id):
+            engine.sim.trace.bump("abcast.stale_discovery")
+            return
+        self._epoch()
+        engine.kernel.send_to_site(src_site, Message(
+            _proto="g.abl.a", gid=engine.gid, epoch=msg["epoch"],
+            high=self.receiver.highest_stamp()))
+
+    def on_discovery_answer(self, src_site: int, msg: Message) -> None:
+        view = self.engine.view
+        if (view is None or msg["epoch"] != view.view_id
+                or self._discovering_view != view.view_id
+                or self._synced_view == view.view_id):
+            self.engine.sim.trace.bump("abcast.stale_discovery")
+            return
+        self._answers[src_site] = msg["high"]
+        self._maybe_complete_sync()
+
+    # -- phase 2: synchronization ------------------------------------------
+    def _maybe_complete_sync(self) -> None:
+        view = self.engine.view
+        if view is None or self._discovering_view != view.view_id:
+            return
+        member_sites = view.member_sites()
+        if 2 * len(self._answers) > len(member_sites):
+            self._complete_sync(view.view_id)
+
+    def _complete_sync(self, epoch: int) -> None:
+        high = max(self._answers.values(), default=0)
+        self._synced_view = epoch
+        self._discovering_view = -1
+        self._answers = {}
+        if self._disc_timer is not None:
+            self._disc_timer.cancel()
+            self._disc_timer = None
+        self._next_stamp = max(self._next_stamp, high + 1)
+        self.engine.sim.trace.bump("abcast.leader_synced")
+        if self.engine.wedged:
+            # The flush's cut will order the backlog deterministically;
+            # stamping it now would be invisible to our sent report.
+            return
+        # Phase 3 begins: stamp the backlog in arrival order.
+        for ref in list(self.receiver.unstamped_refs()):
+            SequencerOrdering._assign_stamp(self, ref)
+
+    # -- view lifecycle ----------------------------------------------------
+    def on_new_view(self) -> None:
+        super().on_new_view()
+        self._synced_view = -1
+        self._discovering_view = -1
+        self._answers = {}
+        if self._disc_timer is not None:
+            self._disc_timer.cancel()
+            self._disc_timer = None
+        self._epoch()

@@ -11,13 +11,14 @@ through the narrow :class:`DeliveryPipeline` interface:
   window every envelope is its own wire message, byte-for-byte what the
   unbatched system sent.
 * **Ordering** — :class:`CausalOrdering` (CBCAST: vector clocks,
-  per-sender FIFO) and one of two total-order stages decide *when* a
-  buffered envelope may be handed to the engine's delivery sink:
-  :class:`TotalOrdering` (ABCAST: the paper's two-phase priorities) or
-  :class:`SequencerOrdering` (``IsisConfig.abcast_mode = "sequencer"``:
-  the lowest-ranked member site of the view holds the *token* and
-  broadcasts batched ``g.abs`` order stamps — one phase, O(1) extra
-  messages per ABCAST in steady state).
+  per-sender FIFO) and a pluggable total-order engine decide *when* a
+  buffered envelope may be handed to the engine's delivery sink.  The
+  total-order engines live behind the explicit
+  :class:`~repro.core.ordering.OrderingEngine` seam in
+  ``core/ordering.py`` — ``abcast_mode`` selects ``two_phase`` (the
+  paper's two-phase priorities), ``sequencer`` (token-site batched
+  ``g.abs`` stamps) or ``leader`` (ZAB-style epoch/leader stamps with
+  discovery + synchronization on view change).
 * :class:`StabilityStage` — tracks which messages are known received
   everywhere.  Have-vectors piggyback on outgoing data envelopes,
   batches and ABCAST acks, so :meth:`MessageStore.trim_stable` advances
@@ -44,14 +45,14 @@ from ..msg.fields import (
 from ..msg.message import BATCH_PROTO, Message, pack_batch, unpack_batch
 from ..sim.core import Timer
 from ..sim.tasks import Promise
-from .abcast import (
-    MsgRef,
-    Priority,
-    SequencerReceiver,
-    TotalOrderReceiver,
-    TotalOrderSender,
-)
 from .cbcast import CausalReceiver
+from .ordering import (  # noqa: F401  (re-exported: long-standing import site)
+    LeaderOrdering,
+    OrderingEngine,
+    SequencerOrdering,
+    TotalOrdering,
+    make_ordering,
+)
 from .tree import SpanningTree, min_merge_have_vectors
 from .vectorclock import encode_context, encode_context_compact
 
@@ -599,302 +600,6 @@ class CausalOrdering:
             kernel.note_group_view_event(self.engine.gid)
 
 
-class TotalOrdering:
-    """ABCAST stage: two-phase priority total order."""
-
-    def __init__(self, engine: "GroupEngine", pipeline: "DeliveryPipeline"):
-        self.engine = engine
-        self.pipeline = pipeline
-        self.receiver = TotalOrderReceiver(
-            engine.site_id, indexed=engine.kernel.config.indexed_delivery)
-        self.sender = TotalOrderSender()
-        #: Wire protocol messages this stage sent (``g.abp`` / ``g.abf``).
-        self.proposals_sent = 0
-        self.finals_sent = 0
-        self.stamps_sent = 0      # always 0 in two-phase mode
-        self.token_handoffs = 0   # always 0 in two-phase mode
-
-    def shutdown(self) -> None:
-        """Two-phase mode keeps no standing timers; nothing to disarm."""
-
-    def stamp(self, env: Message, sender: Address) -> None:
-        """Send side: open a proposal collection for this envelope."""
-        assert self.engine.view is not None
-        env["ab_sender"] = sender.process()
-        self.sender.start((self.engine.site_id, env["gseq"]),
-                          list(self.engine.view.member_sites()))
-
-    def ingest(self, env: Message) -> None:
-        """Receive side: buffer, propose a priority back to the origin."""
-        ref: MsgRef = (env["origin"], env["gseq"])
-        priority = self.receiver.propose(ref, env)
-        if env["origin"] == self.engine.site_id:
-            self.offer_proposal(ref, self.engine.site_id, priority)
-        else:
-            note = Message(_proto="g.abp", gid=self.engine.gid,
-                           ref=list(ref), prio=list(priority))
-            self.pipeline.stability.attach(note)
-            self.proposals_sent += 1
-            self.engine.sim.trace.bump("abcast.proposals")
-            self.engine.kernel.send_to_site(env["origin"], note)
-
-    def on_proposal(self, src_site: int, msg: Message) -> None:
-        ref = (msg["ref"][0], msg["ref"][1])
-        self.offer_proposal(ref, src_site, (msg["prio"][0], msg["prio"][1]))
-
-    def offer_proposal(self, ref: MsgRef, site: int,
-                       priority: Priority) -> None:
-        final = self.sender.offer_proposal(ref, site, priority)
-        if final is not None:
-            self.disseminate_final(ref, final)
-
-    def disseminate_final(self, ref: MsgRef, final: Priority) -> None:
-        if self.engine.view is None:
-            return
-        note = Message(_proto="g.abf", gid=self.engine.gid,
-                       ref=list(ref), prio=list(final))
-        self.pipeline.stability.attach(note)
-        for site in self.engine.view.member_sites():
-            if site != self.engine.site_id:
-                self.finals_sent += 1
-                self.engine.sim.trace.bump("abcast.finals")
-                self.engine.kernel.send_to_site(site, note)
-        self.apply_final(ref, final)
-
-    def on_final(self, msg: Message) -> None:
-        self.apply_final((msg["ref"][0], msg["ref"][1]),
-                         (msg["prio"][0], msg["prio"][1]))
-
-    def apply_final(self, ref: MsgRef, final: Priority) -> None:
-        """Record a final priority and deliver whatever it unblocks.
-
-        No finals are applied while the group is wedged: our FLUSH_OK
-        report already went out, so a post-report delivery would sit at
-        a position the coordinator's cut does not know about — survivors
-        that deliver the same ref via the cut could order it differently
-        (the cut recomputes the final from *reported* proposals, which
-        need not equal the true final).  The cut settles every wedged
-        ref deterministically, so dropping here never stalls a message.
-        This mirrors ``SequencerOrdering``'s no-stamps-while-wedged rule.
-        """
-        if self.engine.wedged:
-            self.engine.sim.trace.bump("abcast.wedged_finals_dropped")
-            return
-        for ready in self.receiver.finalize(ref, final):
-            ready_ref: MsgRef = (ready["origin"], ready["gseq"])
-            # One finalize can unblock several queued messages; each is
-            # recorded with its own final priority (a flush cut built
-            # from a wrong priority would diverge between survivors).
-            delivered_with = self.receiver.delivered_priority(ready_ref)
-            self.engine.note_final_delivered(
-                ready_ref, delivered_with if delivered_with is not None
-                else final)
-            self.engine.deliver_env(ready)
-
-    def on_stamps(self, src_site: int, msg: Message) -> None:
-        # A ``g.abs`` stamp can only come from a sequencer-mode kernel;
-        # modes are a cluster-wide configuration, so this is noise.
-        self.engine.sim.trace.bump("abcast.unexpected_control")
-
-    def on_wedge(self) -> None:
-        pass
-
-    def on_new_view(self) -> None:
-        self.receiver.on_new_view()
-        self.sender.abandon_all()
-
-
-class SequencerOrdering:
-    """ABCAST stage: one-phase total order via a token-site sequencer.
-
-    The lowest-ranked (oldest) member's site of the current view holds
-    the *token*.  Senders disseminate ``g.ab`` data envelopes exactly as
-    in two-phase mode, but nobody proposes priorities: the token site
-    assigns each envelope the next dense per-view sequence number and
-    broadcasts ``g.abs`` stamp messages.  Stamps batch — one ``g.abs``
-    can order many refs, accumulated over ``IsisConfig.batch_window`` —
-    so the steady-state protocol cost per ABCAST is O(1) messages
-    instead of the two-phase O(n) proposals plus finals.
-
-    Token handoff needs no extra protocol: the token is a pure function
-    of the view, and a view change runs the flush, whose reports carry
-    each survivor's stamped prefix (as ``(seq, 0)`` priorities).  The
-    coordinator's union cut orders stamped messages first, then the
-    deterministic unstamped tail, so all survivors deliver the same
-    sequence across the cut; the new view's lowest-ranked member site
-    then stamps from 1 again.
-    """
-
-    def __init__(self, engine: "GroupEngine", pipeline: "DeliveryPipeline"):
-        self.engine = engine
-        self.pipeline = pipeline
-        self.receiver = SequencerReceiver(engine.site_id)
-        #: Inert in sequencer mode; kept so the engine's flush/failure
-        #: paths (``tsender.drop_site`` etc.) stay mode-agnostic.
-        self.sender = TotalOrderSender()
-        #: Token side: next stamp to assign (dense, per view).
-        self._next_stamp = 1
-        #: Token side: stamps accumulating for the next ``g.abs``.
-        self._pending: List[List[int]] = []
-        self._stamp_timer: Optional[Timer] = None
-        #: Stamps for views we have not installed yet.
-        self._future_stamps: List[Tuple[int, List[List[int]]]] = []
-        #: Token site of the view at the last view change (handoff count).
-        self._token_site: Optional[int] = None
-        self.proposals_sent = 0   # always 0 in sequencer mode
-        self.finals_sent = 0      # always 0 in sequencer mode
-        self.stamps_sent = 0
-        self.token_handoffs = 0
-
-    def shutdown(self) -> None:
-        """Disarm the token side's pending stamp-batch timer."""
-        if self._stamp_timer is not None:
-            self._stamp_timer.cancel()
-            self._stamp_timer = None
-
-    # -- token identity ----------------------------------------------------
-    def token_site(self) -> Optional[int]:
-        """The site holding the token: the lowest-ranked member's site."""
-        view = self.engine.view
-        if view is None or not view.members:
-            return None
-        return view.members[0].site
-
-    def is_token(self) -> bool:
-        return self.token_site() == self.engine.site_id
-
-    # -- send side ---------------------------------------------------------
-    def stamp(self, env: Message, sender: Address) -> None:
-        """Send side: no proposal collection — ordering is the token's."""
-        env["ab_sender"] = sender.process()
-
-    # -- receive side ------------------------------------------------------
-    def ingest(self, env: Message) -> None:
-        """Buffer a data envelope; the token site also assigns its stamp.
-
-        No stamps are assigned while the group is wedged: the token's
-        FLUSH_OK report already went out, so a post-report stamp would be
-        invisible to the coordinator's cut — the cut itself orders (or
-        excludes) everything that arrives mid-flush.  Stamps assigned
-        *before* the wedge are in the report and may keep delivering.
-        """
-        ref: MsgRef = (env["origin"], env["gseq"])
-        for ready in self.receiver.hold(ref, env):
-            self._deliver(ready)
-        if (self.is_token() and not self.engine.wedged
-                and not self.receiver.has_stamp(ref)):
-            seq = self._next_stamp
-            self._next_stamp += 1
-            self._queue_stamp(ref, seq)
-            for ready in self.receiver.apply_stamps([(ref, seq)]):
-                self._deliver(ready)
-
-    def on_stamps(self, src_site: int, msg: Message) -> None:
-        """A ``g.abs`` arrived: apply its (ref, seq) pairs.
-
-        Current-view stamps arriving while wedged are dropped, mirroring
-        the no-assignment-while-wedged rule: our FLUSH_OK report already
-        went out, so applying them could deliver at stamp positions the
-        coordinator's cut does not know about.  When the token is the
-        flush coordinator (the normal case) this never triggers — its
-        stamps precede ``g.fl.begin`` on the same FIFO channel; it only
-        catches a suspected-but-alive token racing a removal flush, and
-        the cut settles every such ref deterministically anyway.
-        """
-        engine = self.engine
-        view_id = msg["view"]
-        if not engine.installed or engine.view is None \
-                or view_id > engine.view.view_id:
-            # Stamps for a view we have not installed yet: hold them
-            # (dropping would stall those refs until the next flush).
-            self._future_stamps.append((view_id, msg["stamps"]))
-            return
-        if view_id < engine.view.view_id:
-            engine.sim.trace.bump("abcast.stale_stamps")
-            return
-        if engine.wedged:
-            engine.sim.trace.bump("abcast.wedged_stamps_dropped")
-            return
-        pairs = [((s[0], s[1]), s[2]) for s in msg["stamps"]]
-        for ready in self.receiver.apply_stamps(pairs):
-            self._deliver(ready)
-
-    def on_proposal(self, src_site: int, msg: Message) -> None:
-        self.engine.sim.trace.bump("abcast.unexpected_control")
-
-    def on_final(self, msg: Message) -> None:
-        self.engine.sim.trace.bump("abcast.unexpected_control")
-
-    def _deliver(self, env: Message) -> None:
-        ref: MsgRef = (env["origin"], env["gseq"])
-        prio = self.receiver.delivered_priority(ref)
-        if prio is not None:
-            self.engine.note_final_delivered(ref, prio)
-        self.engine.deliver_env(env)
-
-    # -- stamp batching ----------------------------------------------------
-    def _queue_stamp(self, ref: MsgRef, seq: int) -> None:
-        self._pending.append([ref[0], ref[1], seq])
-        window = self.engine.kernel.config.batch_window
-        if window <= 0:
-            self.flush_stamps()
-        elif self._stamp_timer is None:
-            self._stamp_timer = self.engine.sim.call_after(
-                window, self.flush_stamps)
-
-    def flush_stamps(self) -> None:
-        """Broadcast accumulated stamps as one ``g.abs`` per peer site."""
-        if self._stamp_timer is not None:
-            self._stamp_timer.cancel()
-            self._stamp_timer = None
-        if not self._pending:
-            return
-        engine = self.engine
-        view = engine.view
-        stamps, self._pending = self._pending, []
-        if view is None or not engine.kernel.alive:
-            return
-        note = Message(_proto="g.abs", gid=engine.gid,
-                       view=view.view_id, stamps=stamps)
-        self.pipeline.stability.attach(note)
-        engine.sim.trace.bump("abcast.stamped_refs", len(stamps))
-        sent = self.pipeline.dissemination.broadcast_note(note)
-        if sent:
-            self.stamps_sent += sent
-            engine.sim.trace.bump("abcast.seq_stamps", sent)
-
-    # -- view lifecycle ----------------------------------------------------
-    def on_wedge(self) -> None:
-        """Flush starting: push pending stamps out ahead of the reports."""
-        self.flush_stamps()
-
-    def on_new_view(self) -> None:
-        self.receiver.on_new_view()
-        self.sender.abandon_all()
-        self._pending.clear()
-        if self._stamp_timer is not None:
-            self._stamp_timer.cancel()
-            self._stamp_timer = None
-        self._next_stamp = 1
-        old_token = self._token_site
-        self._token_site = self.token_site()
-        if (self._token_site == self.engine.site_id
-                and old_token is not None and old_token != self._token_site):
-            self.token_handoffs += 1
-            self.engine.sim.trace.bump("abcast.token_handoffs")
-        # Replay stamps that raced ahead of our view installation.
-        if self._future_stamps and self.engine.view is not None:
-            current = self.engine.view.view_id
-            ready = [s for v, s in self._future_stamps if v == current]
-            self._future_stamps = [
-                (v, s) for v, s in self._future_stamps if v > current
-            ]
-            for stamps in ready:
-                pairs = [((s[0], s[1]), s[2]) for s in stamps]
-                for env in self.receiver.apply_stamps(pairs):
-                    self._deliver(env)
-
-
 # ----------------------------------------------------------------------
 # Stability
 # ----------------------------------------------------------------------
@@ -1374,6 +1079,7 @@ class DeliveryPipeline:
     #: Wire protocols the pipeline consumes (engine routes these here).
     WIRE_PROTOS = frozenset({
         BATCH_PROTO, "g.cb", "g.ab", "g.abp", "g.abf", "g.abs",
+        "g.abl.d", "g.abl.a",
         "g.stab.q", "g.stab.a", "g.stab.trim",
         TREE_PROTO, "g.stab.up", "g.stab.dn",
     })
@@ -1390,14 +1096,8 @@ class DeliveryPipeline:
             raise GroupError(f"unknown dissemination {dmode!r} "
                              "(expected 'flat' or 'tree')")
         self.causal = CausalOrdering(engine, self)
-        mode = engine.kernel.config.abcast_mode
-        if mode == "sequencer":
-            self.total = SequencerOrdering(engine, self)
-        elif mode == "two_phase":
-            self.total = TotalOrdering(engine, self)
-        else:
-            raise GroupError(f"unknown abcast_mode {mode!r} "
-                             "(expected 'two_phase' or 'sequencer')")
+        self.total = make_ordering(
+            engine.kernel.config.abcast_mode, engine, self)
         self.stability = StabilityStage(engine, self)
         #: Envelopes for views we have not installed yet.
         self._pre_view: List[Tuple[int, Message]] = []
@@ -1455,6 +1155,10 @@ class DeliveryPipeline:
         elif proto == "g.abs":
             self.stability.ingest_env(src_site, msg)
             self.total.on_stamps(src_site, msg)
+        elif proto == "g.abl.d":
+            self.total.on_discovery(src_site, msg)
+        elif proto == "g.abl.a":
+            self.total.on_discovery_answer(src_site, msg)
         elif proto == "g.stab.q":
             self.stability.on_query(src_site, msg)
         elif proto == "g.stab.a":

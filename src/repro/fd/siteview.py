@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..msg.message import Message
 from ..sim.core import Simulator, Timer
+from .membership import MembershipPolicy, PrimaryPartitionPolicy
 
 SiteIncarnation = Tuple[int, int]
 
@@ -85,6 +86,7 @@ class SiteViewAgent:
         on_view: Callable[[SiteView, Set[int], Set[int]], None],
         self_destruct: Callable[[], None],
         config: Optional[SiteViewConfig] = None,
+        policy: Optional[MembershipPolicy] = None,
     ):
         self.sim = sim
         self.site_id = site_id
@@ -94,6 +96,9 @@ class SiteViewAgent:
         self.on_view = on_view
         self.self_destruct = self_destruct
         self.config = config or SiteViewConfig()
+        #: Who may install a view / commit (see fd/membership.py).  The
+        #: default reproduces the historical primary-partition check.
+        self.policy = policy or PrimaryPartitionPolicy()
         self.view: Optional[SiteView] = None
         self._suspected: Set[int] = set()
         self._pending_joins: Set[SiteIncarnation] = set()
@@ -147,6 +152,19 @@ class SiteViewAgent:
             if site not in self._suspected:
                 return False
         return False
+
+    def unsuspected_members(self) -> Tuple[SiteIncarnation, ...]:
+        """Current-view members this site does not currently suspect.
+
+        The kernel's quorum commit gate judges majorities over this set:
+        with all-to-all heartbeats, every site on the losing side of a
+        partition suspects the whole other side, so the set (and the
+        verdict) is computed locally yet agrees across the component.
+        """
+        if self.view is None:
+            return ()
+        return tuple(
+            m for m in self.view.members if m[0] not in self._suspected)
 
     # ------------------------------------------------------------------
     # Inputs
@@ -278,11 +296,21 @@ class SiteViewAgent:
         survivors = tuple(
             m for m in self.view.members if m[0] not in removals
         )
-        if 2 * len(survivors) < len(self.view.members):
-            # We are a minority: §2.1 — partitions are not tolerated, this
-            # side of the system hangs (probing) until communication is
-            # restored, at which point the majority's commit excludes us
-            # and we self-destruct into recovery (§3.7).
+        # Suspicions recorded before we became acting coordinator were
+        # relayed away, not queued as removals; they still mark sites we
+        # cannot reach.  Quorum mode judges this trusted set.
+        trusted = tuple(
+            m for m in survivors
+            if m[0] == self.site_id or m[0] not in self._suspected
+        )
+        if not self.policy.may_install(survivors, self.view.members, trusted):
+            # We are on the losing side of a partition.  Primary mode:
+            # §2.1 — partitions are not tolerated, a minority of the
+            # previous view hangs (probing) until communication is
+            # restored, at which point the winning side's commit excludes
+            # us and we self-destruct into recovery (§3.7).  Quorum mode:
+            # the same stall, judged against a weighted majority of the
+            # static deployment instead of half the previous view.
             self._enter_stalled()
             return
         new_members = survivors + tuple(sorted(joins))
@@ -326,6 +354,8 @@ class SiteViewAgent:
         self._maybe_start_round()
 
     def _on_ack(self, src_site: int, msg: Message) -> None:
+        if "w" in msg:
+            self.policy.note_weight(src_site, msg["w"])
         if self._round is not None and msg["view_id"] == self._round:
             self._round_acks.add(src_site)
             self._check_round_complete()
@@ -389,11 +419,18 @@ class SiteViewAgent:
             self.send(msg["site"], self._commit_message(self.view))
 
     def _commit_message(self, view: SiteView) -> Message:
-        return Message(
+        commit = Message(
             _proto="sv.commit",
             view_id=view.view_id,
             members=[[s, i] for s, i in view.members],
         )
+        weights = self.policy.commit_weights()
+        if weights is not None:
+            # Quorum mode only: circulate the vote-weight table so every
+            # member judges majorities the same way.  Primary mode leaves
+            # the commit byte-identical to the pre-seam wire format.
+            commit["weights"] = weights
+        return commit
 
     # -- member side --------------------------------------------------------
     def _on_propose(self, src_site: int, msg: Message) -> None:
@@ -402,9 +439,14 @@ class SiteViewAgent:
         if view_id <= current:
             return
         self._last_acked_view = max(self._last_acked_view, view_id)
-        self.send(src_site, Message(_proto="sv.ack", view_id=view_id))
+        ack = Message(_proto="sv.ack", view_id=view_id)
+        weight = self.policy.ack_weight()
+        if weight is not None:
+            ack["w"] = weight
+        self.send(src_site, ack)
 
     def _on_commit(self, msg: Message) -> None:
+        self.policy.ingest_weights(msg.get("weights"))
         view = SiteView(
             view_id=msg["view_id"],
             members=tuple((s, i) for s, i in msg["members"]),

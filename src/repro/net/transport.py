@@ -300,6 +300,15 @@ class Transport:
             # would silently "acknowledge" frames we never received.
             # Epochs wrap modulo 256 with the incarnation byte, so
             # newness is a modular half-window, not ``>``.
+            if channel is not None:
+                # The restart is otherwise invisible to our *send* side:
+                # frame epochs name the sender's incarnation only, so a
+                # surviving send channel keeps numbering frames where the
+                # dead incarnation left off, and the fresh receiver
+                # (expecting seq 0) buffers them as out-of-order forever.
+                # Restart outbound numbering along with inbound state.
+                self.sim.trace.bump("transport.peer_restarts")
+                self.reset_channel(frame.src_site)
             channel = _RecvChannel(frame.epoch)
             self._recv_channels[frame.src_site] = channel
             self._reassembler.forget((frame.src_site,))

@@ -401,6 +401,13 @@ class UdpTransport:
             # New incarnation of the source: reset channel state (same
             # rules as the simulator transport — epochs wrap modulo 256
             # with the incarnation byte, so newness is a modular window).
+            # A restart also invalidates our *send* channel to the site:
+            # epochs name the sender's incarnation only, so outbound seq
+            # numbering must restart or the fresh receiver buffers our
+            # high-seq frames as out-of-order forever.
+            if channel is not None:
+                self.scheduler.trace.bump("transport.peer_restarts")
+                self.reset_channel(frame.src_site)
             channel = _RecvChannel(frame.epoch)
             self._recv_channels[frame.src_site] = channel
             self._reassembler.forget((frame.src_site,))

@@ -326,8 +326,11 @@ class AsyncioRuntime:
     Endpoints: with ``base_port`` set, site *i* is at
     ``(host, base_port + 2i)`` for UDP and ``(host, base_port + 2i + 1)``
     for TCP bulk — how separate launcher processes find each other.
-    Without it, locally hosted sites bind ephemeral ports recorded in
-    the shared peer tables at boot (in-process clusters only).
+    ``hosts`` overrides the address per site (``{site_id: host}``) so a
+    deployment can span machines: sites absent from the map stay on
+    ``host``.  Without ``base_port``, locally hosted sites bind
+    ephemeral ports recorded in the shared peer tables at boot
+    (in-process clusters only).
     """
 
     def __init__(
@@ -337,6 +340,7 @@ class AsyncioRuntime:
         seed: int = 0,
         host: str = "127.0.0.1",
         base_port: Optional[int] = None,
+        hosts: Optional[Dict[int, str]] = None,
         udp_config: Optional[UdpConfig] = None,
         lan_config: Optional[LanConfig] = None,
         loop: Optional[asyncio.AbstractEventLoop] = None,
@@ -344,6 +348,7 @@ class AsyncioRuntime:
         self.n_sites = n_sites
         self.host = host
         self.base_port = base_port
+        self.hosts = dict(hosts or {})
         self.loop = loop or asyncio.new_event_loop()
         self.scheduler = AsyncioScheduler(self.loop, seed=seed)
         self.lan = _NetProfile(lan_config)
@@ -353,8 +358,9 @@ class AsyncioRuntime:
         self.bulk_peers: Dict[int, Tuple[str, int]] = {}
         if base_port is not None:
             for sid in range(n_sites):
-                self.udp_peers[sid] = (host, base_port + 2 * sid)
-                self.bulk_peers[sid] = (host, base_port + 2 * sid + 1)
+                site_host = self.hosts.get(sid, host)
+                self.udp_peers[sid] = (site_host, base_port + 2 * sid)
+                self.bulk_peers[sid] = (site_host, base_port + 2 * sid + 1)
         self.sites: Dict[int, NetSite] = {}
         for sid in (local_sites if local_sites is not None
                     else range(n_sites)):
@@ -449,6 +455,7 @@ class AsyncioCluster:
         udp_config: Optional[UdpConfig] = None,
         host: str = "127.0.0.1",
         base_port: Optional[int] = None,
+        hosts: Optional[Dict[int, str]] = None,
         local_sites: Optional[List[int]] = None,
         boot: bool = True,
     ):
@@ -457,7 +464,7 @@ class AsyncioCluster:
         self._kernel_cls = ProtocolsProcess
         self.runtime = AsyncioRuntime(
             n_sites=n_sites, local_sites=local_sites, seed=seed, host=host,
-            base_port=base_port, udp_config=udp_config)
+            base_port=base_port, hosts=hosts, udp_config=udp_config)
         self.config = isis_config or IsisConfig()
         self._genesis_done = False
         self._all_sites = list(range(n_sites))
